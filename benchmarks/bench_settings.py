@@ -1,0 +1,12 @@
+"""Scales shared by the benchmark sweeps.
+
+Smaller than the library defaults so that regenerating every figure finishes
+in a few minutes; the structural differences between the dataset models are
+already visible at these sizes.
+"""
+
+#: Node count for the ordinary dataset sweeps.
+FAST_SCALE = 500
+
+#: Node count for the sweeps that run expensive node reorderings (Figure 13).
+TINY_SCALE = 300

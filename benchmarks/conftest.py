@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper.  The underlying
+figure functions already sweep several datasets and configurations, so every
+benchmark runs its workload exactly once (``rounds=1``) -- the quantity of
+interest is the *shape* of the produced rows (who wins, by roughly what
+factor), not the Python-level runtime of the harness itself.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Node counts used by the benchmark sweeps; smaller than the library's
+#: defaults so that the full suite completes in a few minutes.
+FAST_SCALE = 500
+#: Even smaller scale for the sweeps that run expensive reorderings.
+TINY_SCALE = 300
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,33 @@
+"""Figure 11: sensitivity to the VLC encoding scheme (gamma, zeta2..zeta5)."""
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+
+def test_figure11_vlc_scheme_sweep(run_once):
+    rows = run_once(
+        figures.figure11, datasets=["uk-2002", "twitter", "brain"], scale=FAST_SCALE
+    )
+
+    schemes = {row["vlc_scheme"] for row in rows}
+    assert schemes == {"gamma", "zeta2", "zeta3", "zeta4", "zeta5"}
+
+    for dataset in ("uk-2002", "twitter", "brain"):
+        per_scheme = {
+            row["vlc_scheme"]: row for row in rows if row["dataset"] == dataset
+        }
+        rates = [row["compression_rate"] for row in per_scheme.values()]
+        times = [row["elapsed"] for row in per_scheme.values()]
+        # Every scheme must remain a real compressor and a working traversal.
+        assert min(rates) > 1.0
+        assert all(t > 0 for t in times)
+        # The schemes trade compression against each other only mildly: the
+        # paper's figure shows the same order of magnitude across k.
+        assert max(rates) / min(rates) < 2.5
+        assert max(times) / min(times) < 1.5
+
+    # The selected zeta3 configuration is never the worst compressor on the
+    # locality-friendly web model (why Table 2 picks it).
+    uk = {row["vlc_scheme"]: row["compression_rate"] for row in rows if row["dataset"] == "uk-2002"}
+    assert uk["zeta3"] > min(uk.values())

@@ -1,0 +1,33 @@
+"""Figure 12: sensitivity to the minimum interval length (2..10, inf)."""
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+
+def test_figure12_minimum_interval_length_sweep(run_once):
+    rows = run_once(
+        figures.figure12, datasets=["uk-2002", "brain", "twitter"], scale=FAST_SCALE
+    )
+
+    lengths = {row["min_interval_length"] for row in rows}
+    assert lengths == {2, 3, 4, 5, 10, "inf"}
+
+    # brain benefits the most from interval representation: disabling
+    # intervals ("inf") must cost it a large share of its compression rate,
+    # which is exactly the observation the paper makes about Figure 12.
+    brain = {row["min_interval_length"]: row for row in rows if row["dataset"] == "brain"}
+    assert brain[4]["compression_rate"] > 1.5 * brain["inf"]["compression_rate"]
+
+    # The web model also loses compression without intervals.
+    uk = {row["min_interval_length"]: row for row in rows if row["dataset"] == "uk-2002"}
+    assert uk[4]["compression_rate"] > uk["inf"]["compression_rate"]
+
+    # The skew-dominated twitter model barely has intervals, so the setting
+    # hardly moves its compression rate.
+    twitter = {row["min_interval_length"]: row for row in rows if row["dataset"] == "twitter"}
+    rates = [row["compression_rate"] for row in twitter.values()]
+    assert max(rates) / min(rates) < 1.3
+
+    for row in rows:
+        assert row["elapsed"] > 0

@@ -1,0 +1,37 @@
+"""Figure 14: sensitivity to the residual segment length (8..128 bytes, inf).
+
+The paper's trade-off: smaller segments create more parallelism (helpful on
+the super-node-dominated twitter model) but waste space on padding, so the
+compression rate decreases monotonically as segments shrink.
+"""
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+LENGTH_ORDER = ["8", "16", "32", "64", "128", "inf"]
+
+
+def test_figure14_segment_length_sweep(run_once):
+    rows = run_once(figures.figure14, datasets=["twitter", "uk-2002"], scale=FAST_SCALE)
+
+    for dataset in ("twitter", "uk-2002"):
+        per_length = {
+            row["segment_length_bytes"]: row for row in rows if row["dataset"] == dataset
+        }
+        assert set(per_length) == set(LENGTH_ORDER)
+
+        # Compression rate can only improve (or stay equal) as segments grow.
+        rates = [per_length[length]["compression_rate"] for length in LENGTH_ORDER]
+        for smaller, larger in zip(rates, rates[1:]):
+            assert smaller <= larger * 1.02  # allow rounding noise
+
+        # The tiniest segments hurt compression measurably versus no
+        # segmentation at all.
+        assert per_length["8"]["compression_rate"] < per_length["inf"]["compression_rate"]
+
+    # On the super-node model, some segmentation beats no segmentation in
+    # traversal cost (the Figure 14 elapsed-time dip the paper highlights).
+    twitter = {row["segment_length_bytes"]: row for row in rows if row["dataset"] == "twitter"}
+    best_segmented = min(twitter[length]["elapsed"] for length in ("16", "32", "64", "128"))
+    assert best_segmented < twitter["inf"]["elapsed"]

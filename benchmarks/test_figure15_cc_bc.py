@@ -1,0 +1,42 @@
+"""Figure 15: Connected Components and Betweenness Centrality comparison."""
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+
+def test_figure15_cc_and_bc(run_once):
+    rows = run_once(
+        figures.figure15, datasets=["uk-2002", "uk-2007", "twitter"], scale=FAST_SCALE
+    )
+
+    def bar(dataset, application, approach):
+        for row in rows:
+            if (
+                row["dataset"] == dataset
+                and row["application"] == application
+                and row["approach"] == approach
+            ):
+                return row
+        raise AssertionError(f"missing bar {dataset}/{application}/{approach}")
+
+    for application in ("CC", "BC"):
+        # GCGT runs both applications everywhere and keeps its compression.
+        for dataset in ("uk-2002", "uk-2007", "twitter"):
+            gcgt = bar(dataset, application, "GCGT")
+            assert not gcgt["oom"]
+            assert gcgt["compression_rate"] > 2.0
+
+        # GCGT stays within a moderate factor of the uncompressed GPU-CSR
+        # implementation (the paper reports "satisfactory performance").
+        for dataset in ("uk-2002",):
+            ratio = (
+                bar(dataset, application, "GCGT")["elapsed"]
+                / bar(dataset, application, "GPUCSR")["elapsed"]
+            )
+            assert ratio < 2.5
+
+        # The framework baseline hits the 12 GB limit on the largest datasets.
+        assert bar("uk-2007", application, "Gunrock")["oom"]
+        assert bar("twitter", application, "Gunrock")["oom"]
+        assert not bar("uk-2002", application, "Gunrock")["oom"]

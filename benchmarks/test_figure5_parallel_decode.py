@@ -1,0 +1,24 @@
+"""Figure 5: the warp-centric parallel VLC decoding worked example."""
+
+from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.vlc import get_scheme
+from repro.traversal.warp_decode import parallel_vlc_decode
+
+
+def test_figure5_parallel_decode_of_gamma_stream(run_once):
+    scheme = get_scheme("gamma")
+    writer = BitWriter()
+    for value in (1, 2, 3, 4, 5):
+        scheme.encode(writer, value)
+
+    def decode():
+        return parallel_vlc_decode(
+            BitReader.from_writer(writer), warp_size=16, scheme=scheme, max_values=5
+        )
+
+    result = run_once(decode)
+    # The figure identifies the decodings held by threads 0, 1, 4, 7 and 12.
+    assert result.values == [1, 2, 3, 4, 5]
+    assert result.valid_offsets == [0, 1, 4, 7, 12]
+    # Lemma 5.2: O(log2 K) marking rounds, i.e. far fewer than 5 serial steps.
+    assert result.marking_rounds <= 5

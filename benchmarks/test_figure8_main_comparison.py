@@ -1,0 +1,62 @@
+"""Figure 8: BFS elapsed time and compression rate for every approach.
+
+Shape properties checked against the paper:
+
+* all GPU approaches beat all CPU approaches;
+* the single-threaded Naive baseline is by far the slowest;
+* GCGT achieves >= 2x compression on every dataset and ~10x-class compression
+  on the web-like and brain-like models;
+* GCGT stays within a small factor of the uncompressed GPU-CSR baseline;
+* the Gunrock-like framework runs out of device memory on the two datasets
+  that exceed 12 GB at paper scale (uk-2007 and twitter).
+"""
+
+import math
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+
+def _by(rows, dataset):
+    return {row["approach"]: row for row in rows if row["dataset"] == dataset}
+
+
+def test_figure8_bfs_elapsed_and_compression(run_once):
+    rows = run_once(figures.figure8, scale=FAST_SCALE)
+    datasets = {row["dataset"] for row in rows}
+    assert datasets == {"uk-2002", "uk-2007", "ljournal", "twitter", "brain"}
+
+    for dataset in datasets:
+        bars = _by(rows, dataset)
+
+        # CPU vs GPU ordering (ignoring OOM bars).
+        gpu_times = [
+            bars[a]["elapsed"] for a in ("GPUCSR", "GCGT", "Gunrock") if not bars[a]["oom"]
+        ]
+        cpu_times = [bars[a]["elapsed"] for a in ("Naive", "Ligra", "Ligra+")]
+        assert max(gpu_times) < min(cpu_times)
+        assert bars["Naive"]["elapsed"] == max(cpu_times)
+
+        # Compression: GCGT >= 2x everywhere, CSR-based approaches are 1x.
+        assert bars["GCGT"]["compression_rate"] >= 2.0
+        assert bars["GPUCSR"]["compression_rate"] == 1.0
+
+        # GCGT remains competitive with the uncompressed GPU baseline.
+        ratio = bars["GCGT"]["elapsed"] / bars["GPUCSR"]["elapsed"]
+        assert ratio < 2.0
+
+    # High compression on the locality-friendly datasets (paper: >= 10x), and
+    # there CGR clearly beats the byte-aligned Ligra+ representation.
+    for dataset in ("uk-2002", "uk-2007", "brain"):
+        bars = _by(rows, dataset)
+        assert bars["GCGT"]["compression_rate"] > 5.0
+        assert bars["GCGT"]["compression_rate"] > bars["Ligra+"]["compression_rate"]
+
+    # OOM pattern of Figure 8: Gunrock fails on uk-2007 and twitter only.
+    for dataset in datasets:
+        gunrock = _by(rows, dataset)["Gunrock"]
+        expected_oom = dataset in ("uk-2007", "twitter")
+        assert gunrock["oom"] == expected_oom
+        if expected_oom:
+            assert math.isinf(gunrock["elapsed"])

@@ -1,0 +1,48 @@
+"""Figure 9: incremental impact of the GCGT optimizations.
+
+The paper applies the optimizations cumulatively (Intuitive -> +Two-Phase ->
++Task-Stealing -> +Warp-centric -> +Residual-Segmentation) and reports the
+speedup over the intuitive scheduling per dataset.  The shapes checked here:
+
+* the full GCGT configuration is faster than the intuitive baseline on every
+  dataset;
+* Two-Phase Traversal gives its largest wins on the interval-rich web models;
+* Residual Segmentation provides the decisive win on the twitter model with
+  its super nodes (the paper's 34x -> 1x pathology in miniature).
+"""
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+
+def _speedups(rows, dataset):
+    return {
+        row["configuration"]: row["speedup_vs_intuitive"]
+        for row in rows
+        if row["dataset"] == dataset
+    }
+
+
+def test_figure9_optimization_ladder(run_once):
+    rows = run_once(figures.figure9, scale=FAST_SCALE)
+
+    for dataset in ("uk-2002", "uk-2007", "ljournal", "twitter", "brain"):
+        speedups = _speedups(rows, dataset)
+        assert speedups["Intuitive"] == 1.0
+        # The full configuration never loses to the naive scheduling.
+        assert speedups["ResidualSegmentation"] >= 1.0
+
+    # Two-Phase Traversal is most effective on the interval-rich web graphs.
+    web_gain = _speedups(rows, "uk-2007")["TwoPhaseTraversal"]
+    social_gain = _speedups(rows, "ljournal")["TwoPhaseTraversal"]
+    assert web_gain > social_gain
+
+    # Residual Segmentation is the decisive optimization on the skewed
+    # twitter model: it beats every earlier configuration there.
+    twitter = _speedups(rows, "twitter")
+    assert twitter["ResidualSegmentation"] == max(twitter.values())
+    assert twitter["ResidualSegmentation"] > 1.3
+
+    # Task stealing helps where residual lengths are skewed (social models).
+    assert _speedups(rows, "twitter")["TaskStealing"] > 1.0

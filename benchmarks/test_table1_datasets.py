@@ -1,0 +1,20 @@
+"""Table 1: dataset statistics of the five synthetic dataset models."""
+
+from bench_settings import FAST_SCALE
+
+from repro.bench import figures
+
+
+def test_table1_dataset_statistics(run_once):
+    rows = run_once(figures.table1, scale=FAST_SCALE)
+    by_name = {row["dataset"]: row for row in rows}
+
+    assert set(by_name) == {"uk-2002", "uk-2007", "ljournal", "twitter", "brain"}
+    # The models preserve the relative density ordering of Table 1: brain is
+    # by far the densest, the 2007 crawl and twitter are denser than the 2002
+    # crawl and LiveJournal.
+    assert by_name["brain"]["model_avg_degree"] > by_name["uk-2007"]["model_avg_degree"]
+    assert by_name["uk-2007"]["model_avg_degree"] > by_name["uk-2002"]["model_avg_degree"]
+    assert by_name["twitter"]["model_avg_degree"] > by_name["ljournal"]["model_avg_degree"]
+    for row in rows:
+        assert row["model_nodes"] > 0 and row["model_edges"] > 0

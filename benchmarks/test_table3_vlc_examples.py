@@ -1,0 +1,15 @@
+"""Table 3: gamma and zeta code words for the paper's example integers."""
+
+from repro.bench import figures
+
+
+def test_table3_vlc_code_words(run_once):
+    rows = run_once(figures.table3)
+    by_value = {row["integer"]: row for row in rows}
+
+    # Exact code words printed in Table 3 of the paper.
+    assert by_value[1] == {"integer": 1, "gamma": "1", "zeta2": "101", "zeta3": "1001"}
+    assert by_value[12]["gamma"] == "0001100"
+    assert by_value[12]["zeta3"] == "01001100"
+    assert by_value[34]["zeta2"] == "001100010"
+    assert by_value[34]["zeta3"] == "01100010"

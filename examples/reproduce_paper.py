@@ -1,0 +1,58 @@
+"""Regenerate every table and figure of the paper's evaluation as text tables.
+
+This is the headline reproduction script: it runs the benchmark harness for
+Tables 1-3 and Figures 8, 9, 11-15 at a configurable scale and prints the
+rows each artefact plots.  Expect a few minutes of runtime at the default
+scale; pass a smaller ``--scale`` for a quick look.
+
+Run with::
+
+    python examples/reproduce_paper.py --scale 500
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import figures
+from repro.bench.reporting import print_table
+
+ARTEFACTS = [
+    ("Table 1: dataset statistics", "table1"),
+    ("Table 2: selected parameters", "table2"),
+    ("Table 3: gamma / zeta code words", "table3"),
+    ("Figure 8: BFS elapsed proxy + compression rate", "figure8"),
+    ("Figure 9: optimization impact", "figure9"),
+    ("Figure 11: VLC scheme sweep", "figure11"),
+    ("Figure 12: minimum interval length sweep", "figure12"),
+    ("Figure 13: node reordering sweep", "figure13"),
+    ("Figure 14: residual segment length sweep", "figure14"),
+    ("Figure 15: CC and BC", "figure15"),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=None,
+                        help="nodes per dataset model (default: harness defaults)")
+    parser.add_argument("--only", type=str, default=None,
+                        help="regenerate a single artefact, e.g. figure9")
+    parser.add_argument("--datasets", type=str, default=None,
+                        help="comma-separated dataset subset, e.g. uk-2002,twitter")
+    args = parser.parse_args()
+
+    datasets = args.datasets.split(",") if args.datasets else None
+
+    for title, name in ARTEFACTS:
+        if args.only and name != args.only:
+            continue
+        producer = getattr(figures, name)
+        if name in ("table2", "table3"):
+            rows = producer()
+        else:
+            rows = producer(datasets=datasets, scale=args.scale)
+        print_table(title, rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` code path in offline environments.
+"""
+from setuptools import setup
+
+setup()

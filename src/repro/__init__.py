@@ -1,0 +1,67 @@
+"""repro: a reproduction of "GPU-based Graph Traversal on Compressed Graphs".
+
+The library implements GCGT (Sha, Li & Tan, SIGMOD 2019) and every substrate
+it depends on, in pure Python:
+
+* :mod:`repro.compression` -- the compressed graph representation (CGR):
+  variable-length codes, intervals/residuals, gap transformation, residual
+  segmentation, plus virtual-node and byte-RLE compression;
+* :mod:`repro.graph` -- graph containers, CSR, synthetic dataset models;
+* :mod:`repro.reorder` -- node-reordering algorithms (DegSort, BFS, Gorder,
+  LLP, SlashBurn);
+* :mod:`repro.gpu` -- a deterministic SIMT warp/memory simulator standing in
+  for CUDA hardware;
+* :mod:`repro.traversal` -- the GCGT scheduling strategies (Two-Phase
+  Traversal, Task Stealing, warp-centric decoding, residual segmentation)
+  and the traversal engine;
+* :mod:`repro.apps` -- BFS, Connected Components and Betweenness Centrality
+  on the expansion--filtering--contraction pipeline;
+* :mod:`repro.baselines` -- Naive/Ligra/Ligra+ CPU engines and
+  GPU-CSR/Gunrock-like GPU engines;
+* :mod:`repro.bench` -- the harness regenerating every table and figure of
+  the paper's evaluation.
+
+Quick start::
+
+    from repro import GCGTEngine, bfs, load_dataset
+
+    graph = load_dataset("uk-2002", scale=2000)
+    engine = GCGTEngine.from_graph(graph)
+    result = bfs(engine, source=0)
+    print(engine.compression_rate, result.visited_count)
+"""
+
+from repro.compression import CGRConfig, CGRGraph
+from repro.graph import CSRGraph, Graph, load_dataset
+from repro.gpu import GPUDevice
+from repro.traversal import GCGTConfig, GCGTEngine
+from repro.apps import bfs, betweenness_centrality, connected_components
+from repro.baselines import (
+    GPUCSREngine,
+    GunrockLikeEngine,
+    LigraEngine,
+    LigraPlusEngine,
+    NaiveCPUEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGRConfig",
+    "CGRGraph",
+    "Graph",
+    "CSRGraph",
+    "load_dataset",
+    "GPUDevice",
+    "GCGTConfig",
+    "GCGTEngine",
+    "bfs",
+    "connected_components",
+    "betweenness_centrality",
+    "NaiveCPUEngine",
+    "LigraEngine",
+    "LigraPlusEngine",
+    "GPUCSREngine",
+    "GunrockLikeEngine",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Graph applications built on the expansion--filtering--contraction pipeline.
+
+Section 6 of the paper argues GCGT generalises beyond BFS to any application
+that fits the node-frontier pipeline; the evaluation covers BFS (Figure 8),
+Connected Components and Betweenness Centrality (Figure 15).  Each module
+here implements one application against the engine interface (an object with
+``expand(frontier, filter_fn)`` and ``num_nodes``), so the same code runs on
+the GCGT engine and on the uncompressed GPU-CSR baseline.
+"""
+
+from repro.apps.pipeline import run_frontier_pipeline
+from repro.apps.bfs import BFSResult, bfs
+from repro.apps.cc import CCResult, connected_components
+from repro.apps.bc import BCResult, betweenness_centrality
+from repro.apps.pagerank import PPRResult, personalized_pagerank
+
+__all__ = [
+    "run_frontier_pipeline",
+    "BFSResult",
+    "bfs",
+    "CCResult",
+    "connected_components",
+    "BCResult",
+    "betweenness_centrality",
+    "PPRResult",
+    "personalized_pagerank",
+]

@@ -1,0 +1,45 @@
+"""The expansion--filtering--contraction pipeline (Figure 7(a)).
+
+Every application in :mod:`repro.apps` iterates the same loop: take the
+current frontier, *expand* all of its neighbours, *filter* them with an
+application-specific predicate that may update per-node state, and *contract*
+the qualified neighbours into the next frontier.  The engine performs
+expansion and contraction; the application supplies the filter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+
+class FrontierEngine(Protocol):
+    """The engine interface the applications program against."""
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    def expand(
+        self, frontier: Sequence[int], filter_fn: Callable[[int, int], bool]
+    ) -> list[int]: ...
+
+
+def run_frontier_pipeline(
+    engine: FrontierEngine,
+    initial_frontier: Sequence[int],
+    filter_fn: Callable[[int, int], bool],
+    max_iterations: int | None = None,
+) -> int:
+    """Iterate the pipeline until the frontier drains; return iteration count.
+
+    ``max_iterations`` is a safety valve for applications whose filter could
+    keep re-admitting nodes; ``None`` means no limit (BFS-style filters are
+    guaranteed to terminate because each node enters the frontier once).
+    """
+    frontier = list(initial_frontier)
+    iterations = 0
+    while frontier:
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        frontier = engine.expand(frontier, filter_fn)
+        iterations += 1
+    return iterations

@@ -1,0 +1,27 @@
+"""Baseline traversal systems the paper compares GCGT against.
+
+* :mod:`cpu` -- the single-threaded Naive baseline and the Ligra / Ligra+
+  style multi-core frontier engines (the latter on byte-compressed CSR);
+* :mod:`gpucsr` -- the GPU-CSR standalone engine (Merrill-style BFS, also
+  serving Soman-style CC and Sriram-style BC) on uncompressed CSR;
+* :mod:`gunrock_like` -- a Gunrock-like framework layer over the GPU-CSR
+  engine that models the extra device-memory footprint responsible for the
+  out-of-memory failures in Figure 8.
+
+All engines expose the same ``expand(frontier, filter_fn)`` interface as
+:class:`repro.traversal.gcgt.GCGTEngine`, so the applications in
+:mod:`repro.apps` run unmodified on every one of them.
+"""
+
+from repro.baselines.cpu import CPUCostModel, LigraEngine, LigraPlusEngine, NaiveCPUEngine
+from repro.baselines.gpucsr import GPUCSREngine
+from repro.baselines.gunrock_like import GunrockLikeEngine
+
+__all__ = [
+    "CPUCostModel",
+    "NaiveCPUEngine",
+    "LigraEngine",
+    "LigraPlusEngine",
+    "GPUCSREngine",
+    "GunrockLikeEngine",
+]

@@ -1,0 +1,120 @@
+"""GPU-CSR baseline: frontier traversal over uncompressed CSR on the simulator.
+
+This models the paper's ``GPUCSR`` bars -- the standalone state-of-the-art
+implementations on the traditional CSR format (Merrill et al. for BFS, Soman
+et al. for CC, Sriram et al. for BC).  Because the neighbours of a frontier
+node are directly addressable in the column-index array, the warp can balance
+its work perfectly: all neighbours of a frontier chunk are gathered and
+handled in warp-width slices with fully coalesced reads.  Its cost is the
+yard-stick GCGT's decoding overhead is measured against (Figure 8), and its
+memory footprint is the full 32 bits per edge that CGR undercuts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.gpu.device import GPUDevice
+from repro.gpu.metrics import KernelMetrics
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.traversal.frontier import FrontierQueue
+
+
+class GPUCSREngine:
+    """Warp-balanced frontier expansion over uncompressed CSR."""
+
+    name = "GPUCSR"
+
+    def __init__(self, csr: CSRGraph, device: GPUDevice | None = None) -> None:
+        self.csr = csr
+        self.device = device or GPUDevice()
+        self.device.check_fits(csr.size_in_bytes(), what="CSR graph")
+        self.metrics = KernelMetrics()
+
+    @classmethod
+    def from_graph(cls, graph: Graph, device: GPUDevice | None = None) -> "GPUCSREngine":
+        return cls(CSRGraph.from_graph(graph), device=device)
+
+    # -- graph facts -------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.csr.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.csr.num_edges
+
+    @property
+    def compression_rate(self) -> float:
+        """CSR is the 32-bit-per-edge reference: rate 1.0."""
+        return 1.0
+
+    def reset_metrics(self) -> None:
+        self.metrics = KernelMetrics()
+
+    # -- traversal ------------------------------------------------------------------
+
+    def expand(
+        self, frontier: Sequence[int], filter_fn: Callable[[int, int], bool]
+    ) -> list[int]:
+        """One expansion iteration with Merrill-style balanced gathering."""
+        iteration = self.device.new_metrics()
+        warp = self.device.new_warp(iteration)
+        out_queue = FrontierQueue()
+        warp_size = self.device.warp_size
+
+        for begin in range(0, len(frontier), warp_size):
+            chunk = list(frontier[begin:begin + warp_size])
+            # Load the frontier entries and each node's row offsets.
+            warp.step(active_lanes=len(chunk))
+            warp.memory.access_words(
+                range(begin, begin + len(chunk)), space="frontier_queue"
+            )
+            warp.memory.access_words(
+                (int(node) for node in chunk), space="csr_indptr"
+            )
+
+            # Gather all neighbours of the chunk.  Column indices of one node
+            # are contiguous, so the reads coalesce per node.
+            gathered: list[tuple[int, int]] = []
+            for node in chunk:
+                start = int(self.csr.indptr[node])
+                end = int(self.csr.indptr[node + 1])
+                warp.memory.access_words(range(start, end), space="csr_indices")
+                gathered.extend((node, int(v)) for v in self.csr.indices[start:end])
+
+            # Perfectly balanced cooperative processing: one gather round and
+            # one handle round per warp-width slice of neighbours.
+            for slice_begin in range(0, len(gathered), warp_size):
+                pairs = gathered[slice_begin:slice_begin + warp_size]
+                warp.step(active_lanes=len(pairs))  # gather/scatter round
+                warp.step(active_lanes=len(pairs))  # status-check round
+                warp.memory.access_words(
+                    (neighbor for _, neighbor in pairs), space="labels"
+                )
+                warp.memory.shared_access(len(pairs))
+                appended = 0
+                for node, neighbor in pairs:
+                    if filter_fn(node, neighbor):
+                        out_queue.append(neighbor)
+                        appended += 1
+                if appended:
+                    warp.memory.atomic_add(1)
+                    base = len(out_queue.pending) - appended
+                    warp.memory.access_words(
+                        range(base, base + appended), space="out_queue"
+                    )
+
+        iteration.launches += 1
+        self.metrics.merge(iteration)
+        return out_queue.pending
+
+    # -- cost ---------------------------------------------------------------------------
+
+    def cost(self) -> float:
+        return self.device.cost(self.metrics)
+
+    def elapsed_proxy(self) -> float:
+        return self.device.elapsed_proxy(self.metrics)

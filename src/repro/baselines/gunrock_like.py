@@ -1,0 +1,82 @@
+"""Gunrock-like framework baseline.
+
+Gunrock is a general graph-analytics framework: its programmability comes at
+the price of extra device-memory structures (double-buffered frontiers sized
+for the worst case, per-node/per-edge operator metadata) and extra kernel
+launches per iteration.  In the paper this shows up twice: Gunrock runs out of
+the 12 GB device memory on uk-2007 and twitter (Figure 8), and it is somewhat
+slower than the hand-tuned GPU-CSR implementations on the rest.
+
+The engine wraps :class:`~repro.baselines.gpucsr.GPUCSREngine` for the actual
+traversal, scales the footprint by a framework overhead factor for the
+out-of-memory check, and adds a per-iteration kernel-launch surcharge to the
+cost counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.baselines.gpucsr import GPUCSREngine
+from repro.gpu.device import GPUDevice
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+
+#: Device-memory multiplier of the framework relative to bare CSR: frontier
+#: double-buffers sized in edges plus per-node operator state.
+FRAMEWORK_MEMORY_OVERHEAD = 3.0
+#: Extra instruction rounds charged per expand call (additional kernel
+#: launches and frontier-management passes of the framework).
+FRAMEWORK_LAUNCH_OVERHEAD_ROUNDS = 64
+
+
+class GunrockLikeEngine:
+    """A general-framework baseline with memory and launch overheads."""
+
+    name = "Gunrock"
+
+    def __init__(self, csr: CSRGraph, device: GPUDevice | None = None) -> None:
+        self.device = device or GPUDevice()
+        required = int(csr.size_in_bytes() * FRAMEWORK_MEMORY_OVERHEAD)
+        self.device.check_fits(required, what="Gunrock framework structures")
+        self._inner = GPUCSREngine(csr, device=self.device)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, device: GPUDevice | None = None) -> "GunrockLikeEngine":
+        return cls(CSRGraph.from_graph(graph), device=device)
+
+    # -- delegation --------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._inner.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._inner.num_edges
+
+    @property
+    def compression_rate(self) -> float:
+        return 1.0
+
+    @property
+    def metrics(self):
+        return self._inner.metrics
+
+    def reset_metrics(self) -> None:
+        self._inner.reset_metrics()
+
+    def expand(
+        self, frontier: Sequence[int], filter_fn: Callable[[int, int], bool]
+    ) -> list[int]:
+        result = self._inner.expand(frontier, filter_fn)
+        # Framework overhead: extra kernel launches and frontier compaction.
+        self._inner.metrics.instruction_rounds += FRAMEWORK_LAUNCH_OVERHEAD_ROUNDS
+        self._inner.metrics.memory_transactions += max(1, len(frontier) // 8)
+        return result
+
+    def cost(self) -> float:
+        return self._inner.cost()
+
+    def elapsed_proxy(self) -> float:
+        return self._inner.elapsed_proxy()

@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation.
+
+``repro.bench.figures`` holds one function per paper artefact (Table 1-3,
+Figures 8, 9, 11-15, plus the worked examples of Figures 4 and 5); each
+returns plain rows (lists of dictionaries) that the ``benchmarks/`` pytest
+suite asserts shape properties on and that ``examples/reproduce_paper.py``
+prints as text tables.  ``repro.bench.harness`` supplies the shared plumbing:
+dataset registry with benchmark-friendly scales, engine builders for every
+approach, and BFS/CC/BC runners that return both results and cost metrics.
+"""
+
+from repro.bench.harness import (
+    BENCH_SCALES,
+    ApproachResult,
+    bench_graph,
+    run_bfs_approach,
+    run_gcgt_bfs,
+)
+from repro.bench import figures
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "BENCH_SCALES",
+    "ApproachResult",
+    "bench_graph",
+    "run_bfs_approach",
+    "run_gcgt_bfs",
+    "figures",
+    "format_table",
+]

@@ -1,0 +1,51 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows of dictionaries as an aligned text table.
+
+    ``columns`` fixes the column order; when omitted, the keys of the first
+    row are used.  Floats are formatted with ``float_format``; everything else
+    via ``str``.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    table = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(line[i]) for line in table))
+        for i in range(len(columns))
+    ]
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    return "\n".join([header, separator, body])
+
+
+def print_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Print a titled table (used by the example scripts)."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows, columns))

@@ -1,0 +1,87 @@
+"""Graph compression substrate.
+
+This package implements the compressed graph representation (CGR) of the
+paper, together with the auxiliary compression techniques it uses as
+preprocessing (virtual-node compression) or compares against (byte-RLE as in
+Ligra+).
+
+Layers, bottom-up:
+
+``bitarray``
+    Bit-granular writer/reader used by every variable-length code.
+``vlc``
+    Variable-length codes: unary, Elias gamma, Elias delta and zeta_k codes
+    (Boldi & Vigna), exactly as described in Appendix B of the paper.
+``gaps``
+    Gap transformation and the sign/minimum shifting rules of Appendix C.
+``intervals``
+    Intervals-and-residuals split of a sorted adjacency list.
+``cgr``
+    The full CGR encoder/decoder for whole graphs, with optional residual
+    segmentation (Section 5.2).
+``segments``
+    Residual segmentation layout helpers.
+``virtual_nodes``
+    Virtual-node compression (category (i) in the paper's related work),
+    used as a preprocessing step before CGR in the evaluation.
+``byte_rle``
+    Byte-aligned run-length/gap encoding in the spirit of Ligra+, used by the
+    Ligra+ baseline.
+"""
+
+from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.vlc import (
+    VLC_SCHEMES,
+    decode_delta,
+    decode_gamma,
+    decode_unary,
+    decode_zeta,
+    encode_delta,
+    encode_gamma,
+    encode_unary,
+    encode_zeta,
+    get_scheme,
+)
+from repro.compression.gaps import (
+    gap_decode_sequence,
+    gap_encode_sequence,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.compression.intervals import (
+    IntervalResidualForm,
+    merge_intervals_residuals,
+    split_intervals_residuals,
+)
+from repro.compression.cgr import CGRConfig, CGRGraph, encode_graph
+from repro.compression.segments import SegmentedResiduals
+from repro.compression.virtual_nodes import VirtualNodeCompressor
+from repro.compression.byte_rle import ByteRLEGraph
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "VLC_SCHEMES",
+    "encode_unary",
+    "decode_unary",
+    "encode_gamma",
+    "decode_gamma",
+    "encode_delta",
+    "decode_delta",
+    "encode_zeta",
+    "decode_zeta",
+    "get_scheme",
+    "zigzag_encode",
+    "zigzag_decode",
+    "gap_encode_sequence",
+    "gap_decode_sequence",
+    "IntervalResidualForm",
+    "split_intervals_residuals",
+    "merge_intervals_residuals",
+    "CGRConfig",
+    "CGRGraph",
+    "encode_graph",
+    "SegmentedResiduals",
+    "VirtualNodeCompressor",
+    "ByteRLEGraph",
+]

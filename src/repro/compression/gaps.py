@@ -1,0 +1,95 @@
+"""Gap transformation and value-shifting rules of CGR.
+
+After the intervals/residuals split, CGR stores every sequence as differences
+("gaps") between consecutive elements so the magnitudes -- and therefore the
+VLC code lengths -- stay small (Section 3.1, "Gap Transformation").
+
+Appendix C adds three shifting rules that this module centralises:
+
+* the *first* gap of both the interval area and the residual area is taken
+  relative to the source node and may be negative, so it is mapped to a
+  non-negative integer with a zig-zag style transform (:func:`zigzag_encode`);
+* subsequent gaps are at least 1 and interval lengths are at least the
+  configured minimum, so those known minimums are subtracted before encoding;
+* the VLC codes cannot represent 0, so every value is finally shifted by +1.
+
+Keeping the rules in one place means the encoder (:mod:`repro.compression.cgr`)
+and all decoders (sequential and warp-centric) share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a possibly-negative integer to a non-negative one.
+
+    Non-negative ``v`` maps to ``2v``; negative ``v`` maps to ``2|v| - 1``.
+    This is the transform used for the first interval start and the first
+    residual, which are stored relative to the source node and may precede it.
+    """
+    if value >= 0:
+        return 2 * value
+    return 2 * (-value) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    if value < 0:
+        raise ValueError(f"zig-zag encoded values are non-negative, got {value}")
+    if value % 2 == 0:
+        return value // 2
+    return -((value + 1) // 2)
+
+
+def to_vlc_value(value: int) -> int:
+    """Apply the final "+1" shift so a non-negative value becomes VLC-encodable."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative before the +1 shift, got {value}")
+    return value + 1
+
+
+def from_vlc_value(value: int) -> int:
+    """Undo the "+1" shift applied by :func:`to_vlc_value`."""
+    if value < 1:
+        raise ValueError(f"VLC-decoded values are >= 1, got {value}")
+    return value - 1
+
+
+def gap_encode_sequence(values: Sequence[int], reference: int) -> list[int]:
+    """Turn a strictly increasing sequence into gaps.
+
+    The first gap is ``values[0] - reference`` passed through
+    :func:`zigzag_encode` (it may be negative); each later gap is the
+    difference from the previous element minus 1 (consecutive residuals are
+    distinct, so raw gaps are at least 1).
+    """
+    if not values:
+        return []
+    gaps = [zigzag_encode(values[0] - reference)]
+    previous = values[0]
+    for value in values[1:]:
+        step = value - previous
+        if step < 1:
+            raise ValueError(
+                "sequence must be strictly increasing: "
+                f"{value} follows {previous}"
+            )
+        gaps.append(step - 1)
+        previous = value
+    return gaps
+
+
+def gap_decode_sequence(gaps: Iterable[int], reference: int) -> list[int]:
+    """Inverse of :func:`gap_encode_sequence`."""
+    values: list[int] = []
+    previous: int | None = None
+    for index, gap in enumerate(gaps):
+        if index == 0:
+            previous = reference + zigzag_decode(gap)
+        else:
+            assert previous is not None
+            previous = previous + gap + 1
+        values.append(previous)
+    return values

@@ -1,0 +1,113 @@
+"""Intervals-and-residuals representation of a sorted adjacency list.
+
+Real-world adjacency lists exhibit locality: runs of consecutive node ids.
+CGR records every maximal run whose length reaches a configurable minimum as
+an *interval* ``(start, length)`` and the remaining neighbours as *residuals*
+(Section 3.1, "Intervals and Residuals Representation").
+
+This module performs the split and its inverse, independent of how the two
+sequences are later encoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Sentinel for "never form intervals" (the ``inf`` setting of Figure 12).
+NO_INTERVALS = float("inf")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A run of consecutive neighbour ids ``start, start+1, ..., start+length-1``."""
+
+    start: int
+    length: int
+
+    def nodes(self) -> range:
+        """The neighbour ids covered by the interval."""
+        return range(self.start, self.start + self.length)
+
+    @property
+    def end(self) -> int:
+        """The last node id covered by the interval."""
+        return self.start + self.length - 1
+
+
+@dataclass
+class IntervalResidualForm:
+    """The two sequences CGR derives from one adjacency list."""
+
+    degree: int
+    intervals: list[Interval] = field(default_factory=list)
+    residuals: list[int] = field(default_factory=list)
+
+    @property
+    def interval_count(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def residual_count(self) -> int:
+        return len(self.residuals)
+
+    @property
+    def interval_coverage(self) -> int:
+        """How many neighbours are represented by intervals."""
+        return sum(interval.length for interval in self.intervals)
+
+
+def split_intervals_residuals(
+    neighbors: Sequence[int],
+    min_interval_length: int | float = 4,
+) -> IntervalResidualForm:
+    """Split a sorted, duplicate-free adjacency list into intervals and residuals.
+
+    Runs of consecutive ids shorter than ``min_interval_length`` stay in the
+    residual sequence.  Passing :data:`NO_INTERVALS` (or any value larger than
+    the list) disables intervals entirely, which is the ``inf`` configuration
+    of the minimum-interval-length sweep in the paper.
+    """
+    if isinstance(min_interval_length, (int, float)) and min_interval_length < 2:
+        raise ValueError(
+            f"min_interval_length must be >= 2 (or inf), got {min_interval_length}"
+        )
+    for i in range(1, len(neighbors)):
+        if neighbors[i] <= neighbors[i - 1]:
+            raise ValueError("adjacency list must be strictly increasing")
+
+    form = IntervalResidualForm(degree=len(neighbors))
+    run_start = 0
+    n = len(neighbors)
+
+    def flush_run(start_index: int, end_index: int) -> None:
+        """Classify the run ``neighbors[start_index:end_index]`` (consecutive ids)."""
+        run_length = end_index - start_index
+        if run_length >= min_interval_length:
+            form.intervals.append(
+                Interval(start=neighbors[start_index], length=run_length)
+            )
+        else:
+            form.residuals.extend(neighbors[start_index:end_index])
+
+    for i in range(1, n + 1):
+        is_break = i == n or neighbors[i] != neighbors[i - 1] + 1
+        if is_break:
+            flush_run(run_start, i)
+            run_start = i
+    return form
+
+
+def merge_intervals_residuals(form: IntervalResidualForm) -> list[int]:
+    """Reconstruct the sorted adjacency list from an intervals/residuals split."""
+    neighbors: list[int] = []
+    for interval in form.intervals:
+        neighbors.extend(interval.nodes())
+    neighbors.extend(form.residuals)
+    neighbors.sort()
+    if len(neighbors) != form.degree:
+        raise ValueError(
+            f"inconsistent form: degree={form.degree} but "
+            f"{len(neighbors)} neighbours reconstructed"
+        )
+    return neighbors

@@ -1,0 +1,81 @@
+"""Residual-segmentation helpers (Section 5.2).
+
+The segmentation itself is part of the CGR encoder
+(:mod:`repro.compression.cgr`); this module provides the view of a node's
+segments that the segmented traversal strategy and the benchmark harness
+consume: where each segment starts in the bit stream, how many residuals it
+holds, and how much space is wasted on padding (the compression-rate cost the
+paper trades against parallelism in Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.cgr import CGRGraph
+
+
+@dataclass(frozen=True)
+class SegmentedResiduals:
+    """Per-node segment map of a segmented CGR adjacency list."""
+
+    node: int
+    segment_bit_offsets: tuple[int, ...]
+    segment_residual_counts: tuple[int, ...]
+    segment_bits: int | None
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segment_bit_offsets)
+
+    @property
+    def total_residuals(self) -> int:
+        return sum(self.segment_residual_counts)
+
+    @classmethod
+    def from_graph(cls, graph: CGRGraph, node: int) -> "SegmentedResiduals":
+        """Build the segment map of ``node`` from a CGR graph.
+
+        For unsegmented graphs the residual area is reported as a single
+        pseudo-segment so callers can treat both layouts uniformly.
+        """
+        layout = graph.layout(node)
+        if graph.config.residual_segment_bits is None:
+            return cls(
+                node=node,
+                segment_bit_offsets=(int(graph.offsets[node]),),
+                segment_residual_counts=(layout.residual_count,),
+                segment_bits=None,
+            )
+        return cls(
+            node=node,
+            segment_bit_offsets=tuple(layout.segment_offsets),
+            segment_residual_counts=tuple(layout.segment_counts),
+            segment_bits=graph.config.residual_segment_bits,
+        )
+
+
+def padding_overhead_bits(graph: CGRGraph) -> int:
+    """Total padding (blank) bits introduced by residual segmentation.
+
+    Computed as the difference between the segmented encoding size and the
+    size the same graph would need without segmentation, clamped at zero.
+    Returns 0 for unsegmented graphs.
+    """
+    if graph.config.residual_segment_bits is None:
+        return 0
+    from dataclasses import replace
+
+    unsegmented_config = replace(graph.config, residual_segment_bits=None)
+    unsegmented = CGRGraph.from_adjacency(list(graph.iter_adjacency()), unsegmented_config)
+    return max(0, graph.total_bits - unsegmented.total_bits)
+
+
+def average_segments_per_node(graph: CGRGraph) -> float:
+    """Mean number of residual segments per node (1.0 when unsegmented)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    total = 0
+    for node in range(graph.num_nodes):
+        total += max(1, SegmentedResiduals.from_graph(graph, node).segment_count)
+    return total / graph.num_nodes

@@ -1,0 +1,179 @@
+"""Variable-length codes (VLC) used by CGR.
+
+The paper (Appendix B) uses two families of instantaneous codes for positive
+integers:
+
+* **Elias gamma code** -- the unary length of the value's significant bits,
+  followed by the significant bits with the leading ``1`` omitted.
+* **zeta_k code** (Boldi & Vigna) -- a unary count ``h`` meaning the value is
+  written in exactly ``h * k`` binary digits, followed by those digits.  With
+  ``k = 1`` the code degenerates to (a variant of) gamma.
+
+Both code families encode integers ``>= 1``; CGR applies a ``+1`` shift before
+encoding whenever a value may legally be zero (Appendix C), which is handled
+by :mod:`repro.compression.gaps` and :mod:`repro.compression.cgr`.
+
+The module-level :data:`VLC_SCHEMES` registry maps scheme names (``"gamma"``,
+``"zeta2"`` ... ``"zeta6"``, ``"delta"``) to :class:`VLCScheme` objects so that
+the benchmark harness can sweep encoding schemes exactly as Figure 11 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.compression.bitarray import BitReader, BitWriter
+
+
+class VLCError(ValueError):
+    """Raised when a value cannot be encoded by the selected code."""
+
+
+def _require_positive(value: int) -> None:
+    if value < 1:
+        raise VLCError(f"VLC codes encode integers >= 1, got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Unary code
+# ---------------------------------------------------------------------------
+
+def encode_unary(writer: BitWriter, value: int) -> None:
+    """Encode ``value >= 0`` as ``value`` zeros followed by a one."""
+    if value < 0:
+        raise VLCError(f"unary code encodes integers >= 0, got {value}")
+    writer.write_unary(value)
+
+
+def decode_unary(reader: BitReader) -> int:
+    """Decode a unary code: count of zeros before the terminating one."""
+    return reader.read_unary()
+
+
+# ---------------------------------------------------------------------------
+# Elias gamma code
+# ---------------------------------------------------------------------------
+
+def encode_gamma(writer: BitWriter, value: int) -> None:
+    """Encode ``value >= 1`` in Elias gamma code.
+
+    Layout: ``L-1`` zeros, a one, then the ``L-1`` bits of ``value`` below its
+    leading one, where ``L`` is the bit length of ``value``.  Examples from
+    Table 3 of the paper: ``1 -> 1``, ``2 -> 010``, ``12 -> 0001100``.
+    """
+    _require_positive(value)
+    length = value.bit_length()
+    writer.write_unary(length - 1)
+    writer.write_bits(value - (1 << (length - 1)), length - 1)
+
+
+def decode_gamma(reader: BitReader) -> int:
+    """Decode one Elias gamma code and return the integer."""
+    length = reader.read_unary() + 1
+    rest = reader.read_bits(length - 1)
+    return (1 << (length - 1)) | rest
+
+
+# ---------------------------------------------------------------------------
+# Elias delta code (not used in the paper's chosen configuration, provided
+# for completeness of the codec substrate and for ablations)
+# ---------------------------------------------------------------------------
+
+def encode_delta(writer: BitWriter, value: int) -> None:
+    """Encode ``value >= 1`` in Elias delta code (gamma-coded length)."""
+    _require_positive(value)
+    length = value.bit_length()
+    encode_gamma(writer, length)
+    writer.write_bits(value - (1 << (length - 1)), length - 1)
+
+
+def decode_delta(reader: BitReader) -> int:
+    """Decode one Elias delta code and return the integer."""
+    length = decode_gamma(reader)
+    rest = reader.read_bits(length - 1)
+    return (1 << (length - 1)) | rest
+
+
+# ---------------------------------------------------------------------------
+# zeta_k code
+# ---------------------------------------------------------------------------
+
+def encode_zeta(writer: BitWriter, value: int, k: int) -> None:
+    """Encode ``value >= 1`` in the paper's zeta_k layout.
+
+    The unary prefix holds ``h`` (written as ``h - 1`` zeros and a one) where
+    ``h`` is the smallest integer such that ``value`` fits in ``h * k`` binary
+    digits; the suffix is ``value`` written in exactly ``h * k`` digits.
+    Examples from Table 3: ``zeta3(1) = 1001``, ``zeta3(12) = 01001100``,
+    ``zeta2(34) = 001100010``.
+    """
+    _require_positive(value)
+    if k < 1:
+        raise VLCError(f"zeta parameter k must be >= 1, got {k}")
+    h = 1
+    while value >= (1 << (h * k)):
+        h += 1
+    writer.write_unary(h - 1)
+    writer.write_bits(value, h * k)
+
+
+def decode_zeta(reader: BitReader, k: int) -> int:
+    """Decode one zeta_k code and return the integer."""
+    if k < 1:
+        raise VLCError(f"zeta parameter k must be >= 1, got {k}")
+    h = reader.read_unary() + 1
+    return reader.read_bits(h * k)
+
+
+# ---------------------------------------------------------------------------
+# Scheme registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VLCScheme:
+    """A named encode/decode pair over positive integers."""
+
+    name: str
+    encode: Callable[[BitWriter, int], None]
+    decode: Callable[[BitReader], int]
+
+    def encoded_length(self, value: int) -> int:
+        """Number of bits this scheme needs for ``value``."""
+        writer = BitWriter()
+        self.encode(writer, value)
+        return writer.bit_length
+
+    def encode_to_bits(self, value: int) -> str:
+        """Return the code word for ``value`` as a bit string (for tests)."""
+        writer = BitWriter()
+        self.encode(writer, value)
+        return writer.to_bitstring()
+
+
+def _make_zeta_scheme(k: int) -> VLCScheme:
+    return VLCScheme(
+        name=f"zeta{k}",
+        encode=lambda writer, value, _k=k: encode_zeta(writer, value, _k),
+        decode=lambda reader, _k=k: decode_zeta(reader, _k),
+    )
+
+
+VLC_SCHEMES: dict[str, VLCScheme] = {
+    "gamma": VLCScheme("gamma", encode_gamma, decode_gamma),
+    "delta": VLCScheme("delta", encode_delta, decode_delta),
+}
+for _k in range(2, 7):
+    VLC_SCHEMES[f"zeta{_k}"] = _make_zeta_scheme(_k)
+
+
+def get_scheme(name: str) -> VLCScheme:
+    """Look up a VLC scheme by name (``gamma``, ``delta``, ``zeta2``..``zeta6``).
+
+    Raises ``KeyError`` with the list of known names when the name is unknown.
+    """
+    try:
+        return VLC_SCHEMES[name]
+    except KeyError:
+        known = ", ".join(sorted(VLC_SCHEMES))
+        raise KeyError(f"unknown VLC scheme {name!r}; known schemes: {known}") from None

@@ -1,0 +1,28 @@
+"""Graph substrate: containers, formats, generators and dataset models."""
+
+from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+    uniform_dense_graph,
+    web_locality_graph,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "erdos_renyi_graph",
+    "power_law_graph",
+    "rmat_graph",
+    "uniform_dense_graph",
+    "web_locality_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,97 @@
+"""Compressed Sparse Row (CSR) graph format.
+
+CSR is the uncompressed device-resident format every GPU baseline in the paper
+operates on (Figure 1): a row-offset array of length ``V + 1`` and a column
+index array of length ``E``.  The GPU-CSR and Gunrock-like baselines in this
+reproduction traverse this structure on the SIMT simulator; CGR's compression
+rate is reported relative to its 32-bit-per-edge footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class CSRGraph:
+    """Row offsets + column indices view of a directed graph."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if len(self.indptr) == 0 or self.indptr[0] != 0:
+            raise ValueError("indptr must start with 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Build CSR arrays from a :class:`Graph`."""
+        return cls.from_adjacency(graph.adjacency())
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "CSRGraph":
+        """Build CSR arrays from adjacency lists."""
+        indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+        for node, neighbors in enumerate(adjacency):
+            indptr[node + 1] = indptr[node] + len(neighbors)
+        indices = np.zeros(int(indptr[-1]), dtype=np.int64)
+        for node, neighbors in enumerate(adjacency):
+            indices[indptr[node]:indptr[node + 1]] = sorted(neighbors)
+        return cls(indptr, indices)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """The neighbour slice of ``node`` (a view into ``indices``)."""
+        self._check_node(node)
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def to_graph(self) -> Graph:
+        """Convert back into the adjacency-list container."""
+        return Graph([
+            self.indices[self.indptr[node]:self.indptr[node + 1]].tolist()
+            for node in range(self.num_nodes)
+        ])
+
+    # -- footprint ----------------------------------------------------------
+
+    @property
+    def bits_per_edge(self) -> float:
+        """Bits per edge of the 32-bit column-index representation."""
+        if self.num_edges == 0:
+            return float("nan")
+        return 32.0
+
+    def size_in_bytes(self) -> int:
+        """Device footprint assuming 32-bit column indices and 64-bit offsets."""
+        return 4 * self.num_edges + 8 * (self.num_nodes + 1)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(nodes={self.num_nodes}, edges={self.num_edges})"

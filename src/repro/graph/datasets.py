@@ -1,0 +1,208 @@
+"""Scaled synthetic models of the paper's five evaluation datasets.
+
+The paper evaluates uk-2002, uk-2007 (web crawls), ljournal, twitter (social
+networks) and brain (a dense biological network); their sizes (Table 1) range
+from 79 million to 3.7 billion edges and the raw data is not redistributable
+here.  Each :class:`DatasetSpec` below therefore describes a *synthetic scale
+model*: a generator call tuned so that the structural property the paper
+attributes to the dataset (locality, skew, density) is present, at a size that
+runs in seconds on a laptop.
+
+``load_dataset(name)`` returns the generated :class:`~repro.graph.graph.Graph`;
+results are cached per process because the benchmark harness loads the same
+dataset for many configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.graph.generators import (
+    power_law_graph,
+    uniform_dense_graph,
+    web_locality_graph,
+)
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one synthetic dataset model."""
+
+    name: str
+    category: str
+    paper_nodes: str
+    paper_edges: str
+    paper_avg_degree: float
+    description: str
+    builder: Callable[[int], Graph]
+    default_scale: int
+    #: Node/edge counts of the real dataset (Table 1), used to project device
+    #: memory footprints at paper scale (the OOM bars of Figures 8 and 15).
+    paper_node_count: int = 0
+    paper_edge_count: int = 0
+    #: Fraction of edges remaining after the virtual-node preprocessing the
+    #: evaluation applies to every dataset (effective mainly on web graphs).
+    virtual_node_edge_factor: float = 1.0
+
+    def build(self, scale: int | None = None) -> Graph:
+        """Generate the graph at ``scale`` nodes (defaults to the spec's size)."""
+        return self.builder(scale or self.default_scale)
+
+    def stored_edges_at_paper_scale(self) -> int:
+        """Edge count after virtual-node preprocessing at the real scale."""
+        return int(self.paper_edge_count * self.virtual_node_edge_factor)
+
+    def projected_footprint_bytes(self, bits_per_edge: float, overhead: float = 1.0) -> int:
+        """Device bytes an approach would need for the *real* dataset.
+
+        ``bits_per_edge`` is the per-edge cost measured on the synthetic model
+        (32 for CSR, the measured CGR rate for GCGT); ``overhead`` multiplies
+        the total for framework baselines that allocate extra structures.
+        """
+        edge_bytes = self.stored_edges_at_paper_scale() * bits_per_edge / 8
+        node_bytes = self.paper_node_count * 8  # offsets / frontier / labels
+        return int((edge_bytes + node_bytes) * overhead)
+
+
+def _uk2002(num_nodes: int) -> Graph:
+    return web_locality_graph(
+        num_nodes,
+        avg_degree=16.0,
+        locality_window=24,
+        run_probability=0.7,
+        copy_probability=0.3,
+        seed=2002,
+    )
+
+
+def _uk2007(num_nodes: int) -> Graph:
+    return web_locality_graph(
+        num_nodes,
+        avg_degree=32.0,
+        locality_window=16,
+        run_probability=0.8,
+        copy_probability=0.35,
+        seed=2007,
+    )
+
+
+def _ljournal(num_nodes: int) -> Graph:
+    return power_law_graph(
+        num_nodes,
+        avg_degree=15.0,
+        exponent=2.3,
+        max_degree_fraction=0.03,
+        hub_count=max(2, num_nodes // 500),
+        seed=2008,
+    )
+
+
+def _twitter(num_nodes: int) -> Graph:
+    return power_law_graph(
+        num_nodes,
+        avg_degree=32.0,
+        exponent=1.9,
+        max_degree_fraction=0.3,
+        hub_count=max(4, num_nodes // 150),
+        seed=2010,
+    )
+
+
+def _brain(num_nodes: int) -> Graph:
+    return uniform_dense_graph(
+        num_nodes,
+        degree=96,
+        cluster_size=128,
+        inside_fraction=0.85,
+        seed=2015,
+    ).to_undirected()
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "uk-2002": DatasetSpec(
+        name="uk-2002",
+        category="Web",
+        paper_nodes="18.5M",
+        paper_edges="298M",
+        paper_avg_degree=16.1,
+        description="Web crawl of the .uk domain (2002); strong locality.",
+        builder=_uk2002,
+        default_scale=4000,
+        paper_node_count=18_520_486,
+        paper_edge_count=298_113_762,
+        virtual_node_edge_factor=0.55,
+    ),
+    "uk-2007": DatasetSpec(
+        name="uk-2007",
+        category="Web",
+        paper_nodes="105M",
+        paper_edges="3.73B",
+        paper_avg_degree=35.5,
+        description="Larger, denser .uk web crawl (2007); strongest locality.",
+        builder=_uk2007,
+        default_scale=5000,
+        paper_node_count=105_896_555,
+        paper_edge_count=3_738_733_648,
+        virtual_node_edge_factor=0.5,
+    ),
+    "ljournal": DatasetSpec(
+        name="ljournal",
+        category="Social Network",
+        paper_nodes="5.3M",
+        paper_edges="79M",
+        paper_avg_degree=14.9,
+        description="LiveJournal friendship graph (2008); power-law, weak locality.",
+        builder=_ljournal,
+        default_scale=4000,
+        paper_node_count=5_363_260,
+        paper_edge_count=79_023_142,
+        virtual_node_edge_factor=0.95,
+    ),
+    "twitter": DatasetSpec(
+        name="twitter",
+        category="Social Network",
+        paper_nodes="41.6M",
+        paper_edges="1.46B",
+        paper_avg_degree=35.1,
+        description="Twitter follower graph (2010); extreme skew with super nodes.",
+        builder=_twitter,
+        default_scale=4000,
+        paper_node_count=41_652_230,
+        paper_edge_count=1_468_365_182,
+        virtual_node_edge_factor=0.95,
+    ),
+    "brain": DatasetSpec(
+        name="brain",
+        category="Biology",
+        paper_nodes="784K",
+        paper_edges="267M",
+        paper_avg_degree=683.0,
+        description="Human brain connectome; dense, near-uniform degree, clustered.",
+        builder=_brain,
+        default_scale=2000,
+        paper_node_count=784_262,
+        paper_edge_count=267_844_669,
+        virtual_node_edge_factor=0.9,
+    ),
+}
+
+
+@lru_cache(maxsize=32)
+def load_dataset(name: str, scale: int | None = None) -> Graph:
+    """Generate (and cache) the synthetic model of a paper dataset.
+
+    Args:
+        name: one of ``uk-2002``, ``uk-2007``, ``ljournal``, ``twitter``,
+            ``brain``.
+        scale: optional number of nodes overriding the spec's default; smaller
+            values make tests faster, larger values sharpen the statistics.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+    return spec.build(scale)

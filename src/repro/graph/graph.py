@@ -1,0 +1,209 @@
+"""In-memory graph container.
+
+The reproduction manipulates graphs in three places: when generating or
+loading datasets, when reordering/compressing them, and when checking
+traversal results against a reference.  :class:`Graph` is the shared
+uncompressed container for all of those -- a list of sorted, duplicate-free
+adjacency lists with a handful of statistics helpers.  Compressed and
+device-resident forms (:class:`repro.graph.csr.CSRGraph`,
+:class:`repro.compression.cgr.CGRGraph`) are built from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of the out-degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+
+    @classmethod
+    def from_degrees(cls, degrees: Sequence[int]) -> "DegreeStats":
+        if len(degrees) == 0:
+            return cls(0, 0, 0.0, 0.0)
+        array = np.asarray(degrees)
+        return cls(
+            minimum=int(array.min()),
+            maximum=int(array.max()),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+        )
+
+
+class Graph:
+    """A directed graph stored as sorted adjacency lists.
+
+    Undirected graphs are represented by symmetrising the edge set
+    (:meth:`to_undirected`), matching how the paper treats the ``brain``
+    dataset.
+    """
+
+    def __init__(self, adjacency: Sequence[Sequence[int]]) -> None:
+        self._adjacency: list[list[int]] = [
+            sorted(set(int(v) for v in neighbors)) for neighbors in adjacency
+        ]
+        for node, neighbors in enumerate(self._adjacency):
+            if neighbors and (neighbors[0] < 0 or neighbors[-1] >= len(self._adjacency)):
+                raise ValueError(
+                    f"node {node} has a neighbour outside [0, {len(self._adjacency)})"
+                )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Iterable[tuple[int, int]]
+    ) -> "Graph":
+        """Build a graph from ``(source, target)`` pairs.
+
+        Self-loops and duplicate edges are dropped, matching the usual
+        preprocessing of the datasets the paper evaluates.
+        """
+        adjacency: list[set[int]] = [set() for _ in range(num_nodes)]
+        for source, target in edges:
+            if source == target:
+                continue
+            if not (0 <= source < num_nodes and 0 <= target < num_nodes):
+                raise ValueError(f"edge ({source}, {target}) outside [0, {num_nodes})")
+            adjacency[source].add(target)
+        return cls([sorted(neighbors) for neighbors in adjacency])
+
+    @classmethod
+    def empty(cls, num_nodes: int) -> "Graph":
+        """A graph with ``num_nodes`` nodes and no edges."""
+        return cls([[] for _ in range(num_nodes)])
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adjacency)
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def neighbors(self, node: int) -> list[int]:
+        """The sorted adjacency list of ``node`` (a copy)."""
+        self._check_node(node)
+        return list(self._adjacency[node])
+
+    def out_degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def has_edge(self, source: int, target: int) -> bool:
+        self._check_node(source)
+        neighbors = self._adjacency[source]
+        lo, hi = 0, len(neighbors)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if neighbors[mid] < target:
+                lo = mid + 1
+            elif neighbors[mid] > target:
+                hi = mid
+            else:
+                return True
+        return False
+
+    def adjacency(self) -> list[list[int]]:
+        """All adjacency lists (copies), in node order."""
+        return [list(neighbors) for neighbors in self._adjacency]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all directed edges."""
+        for source, neighbors in enumerate(self._adjacency):
+            for target in neighbors:
+                yield source, target
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every node as an array."""
+        return np.array([len(neighbors) for neighbors in self._adjacency], dtype=np.int64)
+
+    def degree_stats(self) -> DegreeStats:
+        return DegreeStats.from_degrees(self.degrees())
+
+    # -- transformations ----------------------------------------------------
+
+    def to_undirected(self) -> "Graph":
+        """Return the symmetrised graph (every edge present in both directions)."""
+        adjacency: list[set[int]] = [set(neighbors) for neighbors in self._adjacency]
+        for source, neighbors in enumerate(self._adjacency):
+            for target in neighbors:
+                adjacency[target].add(source)
+        return Graph([sorted(neighbors) for neighbors in adjacency])
+
+    def reversed(self) -> "Graph":
+        """Return the graph with every edge direction flipped."""
+        adjacency: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for source, target in self.edges():
+            adjacency[target].append(source)
+        return Graph(adjacency)
+
+    def relabel(self, permutation: Sequence[int]) -> "Graph":
+        """Apply a node reordering.
+
+        ``permutation[old_id] = new_id`` must be a bijection over the node
+        ids.  Reordering changes locality -- and therefore compression rate --
+        without changing the topology, which is exactly what the paper's
+        node-reordering study (Figure 13) varies.
+        """
+        if len(permutation) != self.num_nodes:
+            raise ValueError(
+                f"permutation length {len(permutation)} != num_nodes {self.num_nodes}"
+            )
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        for new_id in permutation:
+            if not 0 <= new_id < self.num_nodes or seen[new_id]:
+                raise ValueError("permutation is not a bijection over node ids")
+            seen[new_id] = True
+        adjacency: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for old_source, neighbors in enumerate(self._adjacency):
+            new_source = permutation[old_source]
+            adjacency[new_source] = sorted(permutation[t] for t in neighbors)
+        return Graph(adjacency)
+
+    def subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Induced subgraph on ``nodes``, relabelled to 0..len(nodes)-1."""
+        index = {node: i for i, node in enumerate(nodes)}
+        adjacency: list[list[int]] = [[] for _ in range(len(nodes))]
+        for node in nodes:
+            self._check_node(node)
+            adjacency[index[node]] = sorted(
+                index[t] for t in self._adjacency[node] if t in index
+            )
+        return Graph(adjacency)
+
+    # -- comparisons --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:  # Graphs are mutable in principle; identity hash.
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.num_nodes})")

@@ -1,0 +1,40 @@
+"""Node-reordering algorithms.
+
+Node reordering changes only the labelling of a graph, but it is the dominant
+factor in how well CGR compresses it (Figure 13 of the paper).  This package
+implements the five orderings the paper sweeps -- Original, DegSort, BFSOrder,
+Gorder and LLP -- plus SlashBurn from the related-work discussion.
+
+Every reordering returns a permutation array with
+``permutation[old_id] = new_id``, directly usable by
+:meth:`repro.graph.graph.Graph.relabel`.
+"""
+
+from repro.reorder.base import ReorderingMethod, apply_reordering, identity_order
+from repro.reorder.degsort import degree_sort_order
+from repro.reorder.bfsorder import bfs_order
+from repro.reorder.gorder import gorder
+from repro.reorder.llp import layered_label_propagation_order
+from repro.reorder.slashburn import slashburn_order
+
+#: Registry used by the Figure 13 benchmark: name -> ordering function.
+REORDERINGS = {
+    "Original": identity_order,
+    "DegSort": degree_sort_order,
+    "BFSOrder": bfs_order,
+    "Gorder": gorder,
+    "LLP": layered_label_propagation_order,
+    "SlashBurn": slashburn_order,
+}
+
+__all__ = [
+    "ReorderingMethod",
+    "apply_reordering",
+    "identity_order",
+    "degree_sort_order",
+    "bfs_order",
+    "gorder",
+    "layered_label_propagation_order",
+    "slashburn_order",
+    "REORDERINGS",
+]

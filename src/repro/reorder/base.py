@@ -1,0 +1,43 @@
+"""Shared plumbing for node-reordering algorithms."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class ReorderingMethod(Protocol):
+    """A reordering maps a graph to a permutation ``old_id -> new_id``."""
+
+    def __call__(self, graph: Graph) -> np.ndarray: ...
+
+
+def identity_order(graph: Graph) -> np.ndarray:
+    """The "Original" ordering of the paper: keep node ids as they are."""
+    return np.arange(graph.num_nodes, dtype=np.int64)
+
+
+def permutation_from_ranking(ranking: Sequence[int]) -> np.ndarray:
+    """Convert a ranking (new position -> old id) into a permutation array.
+
+    Reordering algorithms usually produce the *sequence* in which old ids
+    should appear; :meth:`Graph.relabel` wants the inverse mapping
+    ``permutation[old_id] = new_id``.  This helper performs the inversion and
+    validates that the ranking covers every node exactly once.
+    """
+    ranking = list(ranking)
+    permutation = np.full(len(ranking), -1, dtype=np.int64)
+    for new_id, old_id in enumerate(ranking):
+        if not 0 <= old_id < len(ranking) or permutation[old_id] != -1:
+            raise ValueError("ranking is not a permutation of node ids")
+        permutation[old_id] = new_id
+    return permutation
+
+
+def apply_reordering(graph: Graph, method: Callable[[Graph], np.ndarray]) -> Graph:
+    """Apply a reordering method and return the relabelled graph."""
+    permutation = method(graph)
+    return graph.relabel(list(int(p) for p in permutation))

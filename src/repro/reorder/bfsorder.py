@@ -1,0 +1,41 @@
+"""Breadth-first-search reordering (Apostolico & Drovandi).
+
+Nodes are renumbered in the order a BFS discovers them, restarting from the
+lowest-id unvisited node whenever a component is exhausted.  Neighbouring
+nodes tend to be discovered near each other, which shortens gaps and creates
+consecutive runs -- the effect the ``BFSOrder`` bar of Figure 13 measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.reorder.base import permutation_from_ranking
+
+
+def bfs_order(graph: Graph, source: int = 0) -> np.ndarray:
+    """Permutation numbering nodes by BFS discovery order.
+
+    Traversal uses the symmetrised neighbourhood so directed graphs with many
+    sink nodes still get a useful ordering.
+    """
+    undirected = graph.to_undirected()
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    ranking: list[int] = []
+    start_candidates = [source] + list(range(graph.num_nodes))
+    for start in start_candidates:
+        if start >= graph.num_nodes or visited[start]:
+            continue
+        queue: deque[int] = deque([start])
+        visited[start] = True
+        while queue:
+            node = queue.popleft()
+            ranking.append(node)
+            for neighbor in undirected.neighbors(node):
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    queue.append(neighbor)
+    return permutation_from_ranking(ranking)

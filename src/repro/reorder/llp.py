@@ -1,0 +1,78 @@
+"""Layered Label Propagation (LLP) reordering (Boldi et al., WWW 2011).
+
+LLP runs label propagation at several resolutions (controlled by a penalty
+parameter ``gamma``): at each resolution, every node repeatedly adopts the
+label that maximises ``count(label) - gamma * volume(label)`` among its
+neighbours, which yields clusters of decreasing granularity.  The final
+ordering concatenates the layers: nodes are sorted by the tuple of labels they
+received across resolutions, so nodes that repeatedly ended up in the same
+cluster get consecutive ids.  This is the ordering the paper selects
+(Table 2) because it maximises compression rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.reorder.base import permutation_from_ranking
+
+
+def _label_propagation_pass(
+    undirected: Graph,
+    gamma: float,
+    max_iterations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One resolution layer: propagate labels with an Absolute-Potts penalty."""
+    n = undirected.num_nodes
+    labels = np.arange(n, dtype=np.int64)
+    volume = np.ones(n, dtype=np.int64)
+
+    order = np.arange(n)
+    for _ in range(max_iterations):
+        changed = 0
+        rng.shuffle(order)
+        for node in order:
+            neighbors = undirected.neighbors(int(node))
+            if not neighbors:
+                continue
+            counts: dict[int, int] = {}
+            for neighbor in neighbors:
+                label = int(labels[neighbor])
+                counts[label] = counts.get(label, 0) + 1
+            current = int(labels[node])
+            best_label, best_score = current, float("-inf")
+            for label, count in counts.items():
+                score = count - gamma * float(volume[label])
+                if score > best_score or (score == best_score and label < best_label):
+                    best_label, best_score = label, score
+            own_score = counts.get(current, 0) - gamma * float(volume[current] - 1)
+            if best_score > own_score and best_label != current:
+                volume[current] -= 1
+                volume[best_label] += 1
+                labels[node] = best_label
+                changed += 1
+        if changed == 0:
+            break
+    return labels
+
+
+def layered_label_propagation_order(
+    graph: Graph,
+    gammas: tuple[float, ...] = (0.0, 0.0625, 0.25, 1.0),
+    max_iterations: int = 8,
+    seed: int = 17,
+) -> np.ndarray:
+    """Permutation from layered label propagation across several resolutions."""
+    undirected = graph.to_undirected()
+    rng = np.random.default_rng(seed)
+    layers = [
+        _label_propagation_pass(undirected, gamma, max_iterations, rng)
+        for gamma in gammas
+    ]
+    # Sort nodes lexicographically by their labels across layers (coarsest
+    # first), breaking ties with the original id to stay deterministic.
+    keys = list(zip(*[layer.tolist() for layer in layers]))
+    ranking = sorted(range(graph.num_nodes), key=lambda node: (keys[node], node))
+    return permutation_from_ranking(ranking)

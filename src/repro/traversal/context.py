@@ -1,0 +1,229 @@
+"""Shared state and primitives for the expansion strategies.
+
+Every scheduling strategy (Algorithms 1-3, warp-centric decoding, residual
+segmentation) processes one warp-sized chunk of frontier nodes at a time.
+:class:`ExpandContext` carries what they all need -- the CGR graph, the
+simulated warp, the application's filter callback and the output queue -- and
+provides the three cost-accounted building blocks the paper's step diagrams
+(Figure 4) are made of:
+
+* a *frontier load* step (read ``inQueue`` and ``bitStart`` from device memory);
+* a *decode* step (lanes read bits of the compressed stream);
+* a *handle* step (``appendIfUnvisited``: check/update application state and
+  cooperatively append qualified neighbours to ``outQueue``).
+
+:func:`build_node_plan` performs the structural decode shared by all
+strategies: where a node's intervals are and where each residual segment
+starts, together with the bit extents needed for memory accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.compression.cgr import CGRGraph
+from repro.compression.intervals import Interval
+from repro.gpu.warp import Warp
+from repro.traversal.cursor import CGRCursor
+from repro.traversal.frontier import FrontierQueue
+
+#: Application callback: ``filter_fn(source, neighbor) -> bool``.  A ``True``
+#: return means the neighbour passed the filtering step and must be appended
+#: to the next frontier (for BFS: it was unvisited and has now been labelled).
+FilterFn = Callable[[int, int], bool]
+
+#: How many bits of a VLC code one lock-step round can chew through when a
+#: lane decodes *serially* (scan the unary prefix, extract the payload).  The
+#: warp-centric decoder amortises this over all lanes, which is exactly the
+#: trade "instructions for parallelism" the paper describes in Section 5.1.
+DECODE_BITS_PER_ROUND = 8
+
+
+@dataclass(frozen=True)
+class ResidualSegmentPlan:
+    """One independently decodable residual run of a node."""
+
+    #: Bit offset of the first residual gap (after the segment's count field).
+    data_start_bit: int
+    #: Number of residuals in the segment.
+    count: int
+    #: Bits occupied by the segment's count field (``resNum``), 0 when the
+    #: layout stores the count elsewhere (unsegmented graphs).
+    count_bits: int = 0
+
+
+@dataclass
+class NodePlan:
+    """Structural decode of one node's compressed adjacency list."""
+
+    node: int
+    degree: int
+    intervals: list[Interval] = field(default_factory=list)
+    #: Bit range of each interval's descriptor (start gap + length), parallel
+    #: to ``intervals``; the first entry also covers the per-node header.
+    interval_descriptor_bits: list[tuple[int, int]] = field(default_factory=list)
+    #: Bit extent of the header + interval descriptors, for memory accounting.
+    header_start_bit: int = 0
+    header_bits: int = 0
+    residual_segments: list[ResidualSegmentPlan] = field(default_factory=list)
+
+    @property
+    def interval_coverage(self) -> int:
+        return sum(interval.length for interval in self.intervals)
+
+    @property
+    def residual_count(self) -> int:
+        return sum(segment.count for segment in self.residual_segments)
+
+
+def build_node_plan(graph: CGRGraph, node: int) -> NodePlan:
+    """Decode the layout of ``node`` into a :class:`NodePlan` using real cursors."""
+    cursor = CGRCursor.at_node(graph, node)
+    start = cursor.position
+    plan = NodePlan(node=node, degree=0, header_start_bit=start)
+    config = graph.config
+    min_len = config.min_interval_length
+    length_shift = 0 if min_len == float("inf") else int(min_len)
+
+    if config.residual_segment_bits is None:
+        degree, _ = cursor.decode_num()
+        plan.degree = degree
+        if degree == 0:
+            plan.header_bits = cursor.position - start
+            return plan
+        _decode_interval_descriptors(cursor, node, length_shift, plan)
+        plan.header_bits = cursor.position - start
+        remaining = degree - plan.interval_coverage
+        plan.residual_segments.append(
+            ResidualSegmentPlan(data_start_bit=cursor.position, count=remaining)
+        )
+        return plan
+
+    _decode_interval_descriptors(cursor, node, length_shift, plan)
+    seg_count, _ = cursor.decode_num()
+    plan.header_bits = cursor.position - start
+    seg_bits = config.residual_segment_bits
+    base = cursor.position
+    for index in range(seg_count):
+        seg_cursor = cursor.fork_at(base + index * seg_bits)
+        count, count_bits = seg_cursor.decode_num()
+        plan.residual_segments.append(
+            ResidualSegmentPlan(
+                data_start_bit=seg_cursor.position,
+                count=count,
+                count_bits=count_bits,
+            )
+        )
+    plan.degree = plan.interval_coverage + plan.residual_count
+    return plan
+
+
+def _decode_interval_descriptors(
+    cursor: CGRCursor, node: int, length_shift: int, plan: NodePlan
+) -> None:
+    """Decode ``itvNum`` and the interval (start, length) tuples into ``plan``."""
+    header_start = plan.header_start_bit
+    interval_count, _ = cursor.decode_num()
+    previous_end = node
+    for index in range(interval_count):
+        descriptor_start = cursor.position if index > 0 else header_start
+        if index == 0:
+            start, _ = cursor.decode_signed_gap(node)
+        else:
+            start, _ = cursor.decode_following_gap(previous_end)
+        raw_length, _ = cursor.decode_num()
+        length = raw_length + length_shift
+        plan.intervals.append(Interval(start=start, length=length))
+        plan.interval_descriptor_bits.append(
+            (descriptor_start, cursor.position - descriptor_start)
+        )
+        previous_end = start + length - 1
+
+
+class ExpandContext:
+    """Per-iteration state handed to an expansion strategy."""
+
+    def __init__(
+        self,
+        graph: CGRGraph,
+        warp: Warp,
+        filter_fn: FilterFn,
+        out_queue: FrontierQueue,
+    ) -> None:
+        self.graph = graph
+        self.warp = warp
+        self.filter_fn = filter_fn
+        self.out_queue = out_queue
+
+    # -- cost-accounted building blocks ---------------------------------------
+
+    def frontier_load_step(self, nodes: Sequence[int]) -> None:
+        """Charge reading the frontier chunk and its ``bitStart`` offsets."""
+        if not nodes:
+            return
+        self.warp.step(active_lanes=len(nodes))
+        # inQueue entries are contiguous; bitStart reads are indexed by node id.
+        self.warp.memory.access_words(range(len(nodes)), space="frontier_queue")
+        self.warp.memory.access_words(
+            (int(node) for node in nodes), space="bit_offsets"
+        )
+
+    def decode_step(self, bit_ranges: Sequence[tuple[int, int] | None]) -> None:
+        """One serial-decode round per lane; ``None`` marks an idle lane.
+
+        Serially decoding a VLC value is a bit-by-bit scan, so its instruction
+        cost grows with the code length: the warp is charged
+        ``ceil(longest_code / DECODE_BITS_PER_ROUND)`` lock-step rounds, all
+        with the same set of active lanes (the others are divergence-idle).
+        """
+        active = [r for r in bit_ranges if r is not None]
+        if not active:
+            return
+        longest = max(num_bits for _, num_bits in active)
+        rounds = max(1, -(-longest // DECODE_BITS_PER_ROUND))
+        for _ in range(rounds):
+            self.warp.step(active_lanes=len(active))
+        self.warp.memory.access_bit_ranges(active)
+
+    def handle_step(self, pairs: Sequence[tuple[int, int] | None]) -> int:
+        """One ``appendIfUnvisited`` round over per-lane ``(source, neighbor)`` pairs.
+
+        Returns the number of neighbours appended to the output queue.  The
+        cost model mirrors the paper: each active lane reads the neighbour's
+        label word, the warp runs one exclusive scan in shared memory, and a
+        single atomic reserves space in ``outQueue`` for all appended nodes.
+        """
+        active = [p for p in pairs if p is not None]
+        if not active:
+            return 0
+        self.warp.step(active_lanes=len(active))
+        self.warp.memory.access_words(
+            (neighbor for _, neighbor in active), space="labels"
+        )
+        self.warp.memory.shared_access(len(active))
+
+        appended = 0
+        for source, neighbor in active:
+            if self.filter_fn(source, neighbor):
+                self.out_queue.append(neighbor)
+                appended += 1
+        if appended:
+            self.warp.memory.atomic_add(1)
+            base = len(self.out_queue.pending) - appended
+            self.warp.memory.access_words(
+                range(base, base + appended), space="out_queue"
+            )
+        return appended
+
+    # -- helpers ----------------------------------------------------------------
+
+    def pad_to_warp(self, items: Sequence) -> list:
+        """Pad a per-lane list with ``None`` up to the warp width."""
+        padded = list(items)
+        if len(padded) > self.warp.size:
+            raise ValueError(
+                f"chunk of {len(padded)} items exceeds warp size {self.warp.size}"
+            )
+        padded.extend([None] * (self.warp.size - len(padded)))
+        return padded

@@ -1,0 +1,63 @@
+"""Per-lane decoding cursor over a CGR bit stream.
+
+``decodeNum(bitPtr)`` in the paper's pseudo-code reads one VLC value from the
+compressed bit array and advances the pointer.  :class:`CGRCursor` is that
+pointer for one simulated lane: it wraps a :class:`BitReader` positioned
+inside the graph's bit stream, decodes values with the graph's VLC scheme,
+applies the shifting rules of Appendix C, and remembers how many bits each
+decode consumed so the strategies can charge device-memory traffic for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.bitarray import BitReader
+from repro.compression.cgr import CGRGraph
+from repro.compression.gaps import from_vlc_value, zigzag_decode
+from repro.compression.vlc import VLCScheme
+
+
+@dataclass
+class CGRCursor:
+    """A lane's position inside the compressed adjacency data."""
+
+    reader: BitReader
+    scheme: VLCScheme
+
+    @classmethod
+    def at_node(cls, graph: CGRGraph, node: int) -> "CGRCursor":
+        """Cursor positioned at ``bitStart[node]``."""
+        return cls(reader=graph.reader_at(node), scheme=graph.config.scheme)
+
+    @property
+    def position(self) -> int:
+        """Absolute bit offset of the cursor."""
+        return self.reader.position
+
+    def fork_at(self, position: int) -> "CGRCursor":
+        """An independent cursor over the same stream at ``position``."""
+        return CGRCursor(reader=self.reader.fork(position), scheme=self.scheme)
+
+    # -- raw decodes ----------------------------------------------------------
+
+    def decode_num(self) -> tuple[int, int]:
+        """Decode one shifted VLC value; return ``(value, bits_consumed)``.
+
+        The returned value already has the "+1" shift removed, i.e. it is the
+        non-negative quantity the encoder intended (a count, a gap-minus-one,
+        or a zig-zagged first gap).
+        """
+        start = self.reader.position
+        value = from_vlc_value(self.scheme.decode(self.reader))
+        return value, self.reader.position - start
+
+    def decode_signed_gap(self, reference: int) -> tuple[int, int]:
+        """Decode a zig-zagged first gap and return the absolute node id."""
+        raw, bits = self.decode_num()
+        return reference + zigzag_decode(raw), bits
+
+    def decode_following_gap(self, previous: int) -> tuple[int, int]:
+        """Decode a later gap (stored as ``gap - 1``) and return the node id."""
+        raw, bits = self.decode_num()
+        return previous + raw + 1, bits

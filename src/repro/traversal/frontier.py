@@ -1,0 +1,68 @@
+"""Ping-pong frontier queues.
+
+Frontier-based traversal on GPUs keeps two queues: the current iteration reads
+frontiers from ``inQueue`` and appends newly qualified nodes to ``outQueue``;
+at the end of the iteration the queues swap roles (Section 4.1).  The class
+here also models the contention-reduction scheme of ``appendIfUnvisited``:
+each warp performs a single atomic reservation for all of its appends, which
+the engine charges to the metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class FrontierQueue:
+    """A pair of node queues that swap every traversal iteration."""
+
+    def __init__(self, initial: Sequence[int] = ()) -> None:
+        self._current: list[int] = list(initial)
+        self._next: list[int] = []
+
+    # -- current-iteration view ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._current)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._current)
+
+    def __bool__(self) -> bool:
+        return bool(self._current)
+
+    @property
+    def current(self) -> list[int]:
+        """The frontiers of the running iteration (read-only by convention)."""
+        return self._current
+
+    @property
+    def pending(self) -> list[int]:
+        """Nodes appended so far for the next iteration."""
+        return self._next
+
+    def chunks(self, size: int) -> Iterator[list[int]]:
+        """Split the current frontier into warp-sized chunks."""
+        if size < 1:
+            raise ValueError("chunk size must be >= 1")
+        for start in range(0, len(self._current), size):
+            yield self._current[start:start + size]
+
+    # -- next-iteration construction -------------------------------------------
+
+    def append(self, node: int) -> None:
+        """Append one node for the next iteration."""
+        self._next.append(node)
+
+    def extend(self, nodes: Iterable[int]) -> None:
+        """Append several nodes for the next iteration."""
+        self._next.extend(nodes)
+
+    def swap(self) -> None:
+        """Make the appended nodes the new current frontier."""
+        self._current, self._next = self._next, []
+
+    def reset(self, initial: Sequence[int]) -> None:
+        """Restart the queue with a fresh current frontier."""
+        self._current = list(initial)
+        self._next = []

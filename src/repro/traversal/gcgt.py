@@ -1,0 +1,169 @@
+"""The GCGT engine: compressed-graph traversal with configurable optimizations.
+
+:class:`GCGTEngine` owns a CGR-encoded graph resident in (simulated) device
+memory and runs the expansion half of the expansion--filtering--contraction
+pipeline over it, one frontier iteration at a time.  The filtering step is a
+callback supplied by the application (BFS, CC, BC -- see :mod:`repro.apps`),
+which keeps the engine application-agnostic exactly as Section 6 describes.
+
+:class:`GCGTConfig` exposes the four optimization knobs of the paper as
+booleans; :data:`STRATEGY_LADDER` lists the five cumulative configurations
+Figure 9 sweeps (Intuitive -> +TwoPhase -> +TaskStealing -> +Warp-centric ->
++ResidualSegmentation = full GCGT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.compression.cgr import CGRConfig, CGRGraph
+from repro.gpu.device import GPUDevice
+from repro.gpu.metrics import KernelMetrics
+from repro.graph.graph import Graph
+from repro.traversal.bfs_basic import IntuitiveStrategy
+from repro.traversal.context import ExpandContext, FilterFn
+from repro.traversal.frontier import FrontierQueue
+from repro.traversal.segmented import ResidualSegmentationStrategy
+from repro.traversal.strategy import ExpansionStrategy
+from repro.traversal.task_stealing import TaskStealingStrategy
+from repro.traversal.two_phase import TwoPhaseStrategy
+from repro.traversal.warp_decode import WarpCentricStrategy
+
+
+@dataclass(frozen=True)
+class GCGTConfig:
+    """Which scheduling optimizations are enabled, plus the encoding config.
+
+    The defaults correspond to the full GCGT configuration the paper uses in
+    its main comparison (Figure 8) with the Table 2 encoding parameters.
+    """
+
+    two_phase: bool = True
+    task_stealing: bool = True
+    warp_centric: bool = True
+    residual_segmentation: bool = True
+    #: Residual runs at least this long are decoded warp-centrically; ``None``
+    #: resolves to twice the warp size at run time.
+    long_residual_threshold: int | None = None
+    cgr: CGRConfig = field(default_factory=CGRConfig.paper_defaults)
+
+    def effective_cgr_config(self) -> CGRConfig:
+        """The encoding config actually used, honouring the segmentation knob."""
+        if self.residual_segmentation:
+            return self.cgr
+        return replace(self.cgr, residual_segment_bits=None)
+
+    def build_strategy(self) -> ExpansionStrategy:
+        """Instantiate the most advanced strategy the enabled knobs allow."""
+        if self.residual_segmentation:
+            return ResidualSegmentationStrategy(self.long_residual_threshold)
+        if self.warp_centric:
+            return WarpCentricStrategy(self.long_residual_threshold)
+        if self.task_stealing:
+            return TaskStealingStrategy()
+        if self.two_phase:
+            return TwoPhaseStrategy()
+        return IntuitiveStrategy()
+
+    @property
+    def strategy_name(self) -> str:
+        return self.build_strategy().name
+
+
+#: The cumulative optimization ladder of Figure 9: display name -> config.
+STRATEGY_LADDER: dict[str, GCGTConfig] = {
+    "Intuitive": GCGTConfig(
+        two_phase=False, task_stealing=False, warp_centric=False,
+        residual_segmentation=False,
+    ),
+    "TwoPhaseTraversal": GCGTConfig(
+        two_phase=True, task_stealing=False, warp_centric=False,
+        residual_segmentation=False,
+    ),
+    "TaskStealing": GCGTConfig(
+        two_phase=True, task_stealing=True, warp_centric=False,
+        residual_segmentation=False,
+    ),
+    "Warp-centric": GCGTConfig(
+        two_phase=True, task_stealing=True, warp_centric=True,
+        residual_segmentation=False,
+    ),
+    "ResidualSegmentation": GCGTConfig(
+        two_phase=True, task_stealing=True, warp_centric=True,
+        residual_segmentation=True,
+    ),
+}
+
+
+class GCGTEngine:
+    """Traversal engine over a CGR graph on a simulated GPU device."""
+
+    def __init__(
+        self,
+        cgr_graph: CGRGraph,
+        device: GPUDevice | None = None,
+        config: GCGTConfig | None = None,
+    ) -> None:
+        self.config = config or GCGTConfig()
+        self.device = device or GPUDevice()
+        self.graph = cgr_graph
+        self.strategy = self.config.build_strategy()
+        self.device.check_fits(self.graph.size_in_bytes(), what="CGR graph")
+        self.metrics = KernelMetrics()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        config: GCGTConfig | None = None,
+        device: GPUDevice | None = None,
+    ) -> "GCGTEngine":
+        """Compress ``graph`` on the host and load the CGR into device memory."""
+        config = config or GCGTConfig()
+        cgr = CGRGraph.from_adjacency(graph.adjacency(), config.effective_cgr_config())
+        return cls(cgr, device=device, config=config)
+
+    # -- basic graph facts ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def compression_rate(self) -> float:
+        return self.graph.compression_rate
+
+    # -- traversal ------------------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        """Clear accumulated counters before a fresh measurement run."""
+        self.metrics = KernelMetrics()
+
+    def expand(self, frontier: Sequence[int], filter_fn: FilterFn) -> list[int]:
+        """Run one expansion--filtering--contraction iteration.
+
+        ``frontier`` holds the current iteration's nodes; ``filter_fn`` is the
+        application's filtering callback.  Returns the next frontier (the
+        contraction output) and accumulates cost counters in :attr:`metrics`.
+        """
+        iteration_metrics = self.device.new_metrics()
+        warp = self.device.new_warp(iteration_metrics)
+        out_queue = FrontierQueue()
+        ctx = ExpandContext(self.graph, warp, filter_fn, out_queue)
+        for begin in range(0, len(frontier), self.device.warp_size):
+            chunk = list(frontier[begin:begin + self.device.warp_size])
+            self.strategy.expand_chunk(ctx, chunk)
+        iteration_metrics.launches += 1
+        self.metrics.merge(iteration_metrics)
+        return out_queue.pending
+
+    def cost(self) -> float:
+        """Scalar elapsed-time proxy of all work since the last reset."""
+        return self.device.cost(self.metrics)

@@ -1,0 +1,101 @@
+"""Base class and shared helpers for expansion strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.traversal.context import (
+    ExpandContext,
+    NodePlan,
+    ResidualSegmentPlan,
+    build_node_plan,
+)
+from repro.traversal.cursor import CGRCursor
+
+
+class ExpansionStrategy(ABC):
+    """Processes one warp-sized chunk of frontier nodes.
+
+    A strategy is responsible for decoding each frontier node's compressed
+    adjacency list, passing every neighbour through the application filter and
+    appending qualified neighbours to the next frontier -- while charging the
+    simulated warp for every lock-step round and memory access it would
+    perform on real hardware.  Subclasses differ only in *scheduling*: how the
+    decode and handle work is distributed over the lanes.
+    """
+
+    #: Display name used by the benchmark figures.
+    name: str = "abstract"
+
+    @abstractmethod
+    def expand_chunk(self, ctx: ExpandContext, chunk: Sequence[int]) -> None:
+        """Expand ``chunk`` (at most ``warp.size`` frontier nodes)."""
+
+    # -- helpers shared by the concrete strategies -----------------------------
+
+    def load_plans(self, ctx: ExpandContext, chunk: Sequence[int]) -> list[NodePlan]:
+        """Charge the frontier load and build one :class:`NodePlan` per lane."""
+        ctx.frontier_load_step(chunk)
+        return [build_node_plan(ctx.graph, node) for node in chunk]
+
+
+@dataclass
+class LaneResidualState:
+    """Mutable per-lane position inside a node's residual area.
+
+    The residual area of a node may span several segments (after residual
+    segmentation); a lane walks them in order.  ``previous`` carries the last
+    decoded absolute neighbour id of the *current* segment because gaps are
+    relative within a segment and restart from the source node at a segment
+    boundary.
+    """
+
+    source: int
+    cursor: CGRCursor
+    segments: list[ResidualSegmentPlan]
+    segment_index: int = 0
+    decoded_in_segment: int = 0
+    previous: int | None = None
+
+    @classmethod
+    def from_plan(cls, ctx: ExpandContext, plan: NodePlan) -> "LaneResidualState":
+        state = cls(
+            source=plan.node,
+            cursor=CGRCursor.at_node(ctx.graph, plan.node),
+            segments=[s for s in plan.residual_segments if s.count > 0],
+        )
+        state._enter_segment()
+        return state
+
+    def _enter_segment(self) -> None:
+        self.decoded_in_segment = 0
+        self.previous = None
+        if self.segment_index < len(self.segments):
+            segment = self.segments[self.segment_index]
+            self.cursor = self.cursor.fork_at(segment.data_start_bit)
+
+    @property
+    def remaining(self) -> int:
+        """Residuals left to decode across all remaining segments."""
+        total = 0
+        for index in range(self.segment_index, len(self.segments)):
+            total += self.segments[index].count
+        return total - self.decoded_in_segment
+
+    def decode_next(self) -> tuple[int, tuple[int, int]]:
+        """Decode the next residual; return ``(neighbor, bit_range)``."""
+        if self.remaining <= 0:
+            raise RuntimeError("no residuals remain for this lane")
+        start = self.cursor.position
+        if self.previous is None:
+            neighbor, bits = self.cursor.decode_signed_gap(self.source)
+        else:
+            neighbor, bits = self.cursor.decode_following_gap(self.previous)
+        self.previous = neighbor
+        self.decoded_in_segment += 1
+        if self.decoded_in_segment >= self.segments[self.segment_index].count:
+            self.segment_index += 1
+            self._enter_segment()
+        return neighbor, (start, bits)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.graph.generators import (  # noqa: E402
+    power_law_graph,
+    uniform_dense_graph,
+    web_locality_graph,
+)
+from repro.graph.graph import Graph  # noqa: E402
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """The 8-node example graph of Figure 1 in the paper."""
+    return Graph([
+        [1, 3, 4],      # node 0
+        [2, 4, 5],      # node 1
+        [5],            # node 2
+        [],             # node 3
+        [],             # node 4
+        [6, 7],         # node 5
+        [7],            # node 6
+        [],             # node 7
+    ])
+
+
+@pytest.fixture
+def paper_adjacency_example() -> tuple[int, list[int]]:
+    """Node 16's adjacency list from Figure 2 of the paper."""
+    return 16, [12, 18, 19, 20, 21, 24, 27, 28, 29, 101]
+
+
+@pytest.fixture(scope="session")
+def web_graph() -> Graph:
+    """A small web-like graph with strong locality (interval heavy)."""
+    return web_locality_graph(400, avg_degree=12.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def skewed_graph() -> Graph:
+    """A small power-law graph with forced super nodes."""
+    return power_law_graph(
+        400, avg_degree=10.0, exponent=1.9, max_degree_fraction=0.3,
+        hub_count=3, seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def dense_graph() -> Graph:
+    """A small dense brain-like graph."""
+    return uniform_dense_graph(200, degree=24, cluster_size=64, seed=13)

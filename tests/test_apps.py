@@ -1,0 +1,146 @@
+"""Tests for BFS, Connected Components and Betweenness Centrality."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bc import betweenness_centrality, reference_betweenness
+from repro.apps.bfs import UNREACHED, bfs, reference_bfs_levels
+from repro.apps.cc import connected_components, reference_components
+from repro.apps.pipeline import run_frontier_pipeline
+from repro.baselines.gpucsr import GPUCSREngine
+from repro.traversal.gcgt import GCGTEngine
+
+ENGINE_BUILDERS = {
+    "GCGT": lambda graph: GCGTEngine.from_graph(graph),
+    "GPUCSR": lambda graph: GPUCSREngine.from_graph(graph),
+}
+
+
+@pytest.fixture(params=sorted(ENGINE_BUILDERS))
+def engine_builder(request):
+    return ENGINE_BUILDERS[request.param]
+
+
+class TestBFS:
+    def test_levels_match_reference_on_figure1_graph(self, tiny_graph, engine_builder):
+        engine = engine_builder(tiny_graph)
+        result = bfs(engine, 0)
+        assert np.array_equal(result.levels, reference_bfs_levels(tiny_graph.adjacency(), 0))
+        assert result.level_of(0) == 0
+        assert result.level_of(7) == 3
+
+    @pytest.mark.parametrize("fixture_name", ["web_graph", "skewed_graph", "dense_graph"])
+    def test_levels_match_reference_on_generated_graphs(
+        self, fixture_name, request, engine_builder
+    ):
+        graph = request.getfixturevalue(fixture_name)
+        engine = engine_builder(graph)
+        result = bfs(engine, 0)
+        assert np.array_equal(result.levels, reference_bfs_levels(graph.adjacency(), 0))
+
+    def test_unreachable_nodes_marked(self, tiny_graph, engine_builder):
+        result = bfs(engine_builder(tiny_graph), 6)
+        assert result.level_of(7) == 1
+        assert result.level_of(0) == UNREACHED
+        assert result.visited_count == 2
+
+    def test_source_out_of_range(self, tiny_graph, engine_builder):
+        with pytest.raises(IndexError):
+            bfs(engine_builder(tiny_graph), 99)
+
+    def test_iterations_equal_max_level(self, web_graph, engine_builder):
+        result = bfs(engine_builder(web_graph), 0)
+        assert result.iterations >= result.max_level
+
+    def test_multiple_runs_are_independent(self, web_graph):
+        engine = GCGTEngine.from_graph(web_graph)
+        first = bfs(engine, 0)
+        second = bfs(engine, 0)
+        assert np.array_equal(first.levels, second.levels)
+
+
+class TestConnectedComponents:
+    def test_matches_union_find_reference(self, engine_builder):
+        from repro.graph.generators import web_locality_graph
+
+        graph = web_locality_graph(200, avg_degree=4, seed=17).to_undirected()
+        engine = engine_builder(graph)
+        result = connected_components(engine)
+        reference = reference_components(graph.adjacency())
+        # Same partition: nodes share a component label iff the reference agrees.
+        for a in range(0, graph.num_nodes, 7):
+            for b in range(0, graph.num_nodes, 13):
+                assert (result.labels[a] == result.labels[b]) == (reference[a] == reference[b])
+        assert result.num_components == len(np.unique(reference))
+
+    def test_disconnected_graph(self, engine_builder):
+        from repro.graph.graph import Graph
+
+        graph = Graph([[1], [0], [3], [2], []])
+        result = connected_components(engine_builder(graph))
+        assert result.num_components == 3
+        assert result.same_component(0, 1)
+        assert not result.same_component(0, 2)
+
+    def test_single_component_cycle(self, engine_builder):
+        from repro.graph.graph import Graph
+
+        n = 20
+        graph = Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)]).to_undirected()
+        result = connected_components(engine_builder(graph))
+        assert result.num_components == 1
+
+
+class TestBetweennessCentrality:
+    @pytest.mark.parametrize("source", [0, 5])
+    def test_matches_brandes_reference(self, web_graph, engine_builder, source):
+        engine = engine_builder(web_graph)
+        result = betweenness_centrality(engine, source)
+        distances, sigma, delta = reference_betweenness(web_graph.adjacency(), source)
+        assert np.array_equal(result.distances, distances)
+        assert np.allclose(result.sigma, sigma)
+        assert np.allclose(result.delta, delta)
+
+    def test_path_graph_dependencies(self, engine_builder):
+        from repro.graph.graph import Graph
+
+        # 0 -> 1 -> 2 -> 3: delta(1) = 2, delta(2) = 1 from source 0.
+        graph = Graph([[1], [2], [3], []])
+        result = betweenness_centrality(engine_builder(graph), 0)
+        assert result.delta[1] == pytest.approx(2.0)
+        assert result.delta[2] == pytest.approx(1.0)
+        assert result.centrality[0] == 0.0
+
+    def test_diamond_graph_splits_shortest_paths(self, engine_builder):
+        from repro.graph.graph import Graph
+
+        # 0 -> {1, 2} -> 3: two shortest paths to 3, each middle node gets 0.5.
+        graph = Graph([[1, 2], [3], [3], []])
+        result = betweenness_centrality(engine_builder(graph), 0)
+        assert result.sigma[3] == pytest.approx(2.0)
+        assert result.delta[1] == pytest.approx(0.5)
+        assert result.delta[2] == pytest.approx(0.5)
+
+    def test_source_out_of_range(self, tiny_graph, engine_builder):
+        with pytest.raises(IndexError):
+            betweenness_centrality(engine_builder(tiny_graph), -1)
+
+
+class TestPipeline:
+    def test_run_frontier_pipeline_counts_iterations(self, tiny_graph):
+        engine = GCGTEngine.from_graph(tiny_graph)
+        visited = {0}
+
+        def admit(u, v):
+            if v in visited:
+                return False
+            visited.add(v)
+            return True
+
+        iterations = run_frontier_pipeline(engine, [0], admit)
+        assert iterations == 4  # levels 1..3 plus the final empty expansion
+
+    def test_max_iterations_guard(self, tiny_graph):
+        engine = GCGTEngine.from_graph(tiny_graph)
+        iterations = run_frontier_pipeline(engine, [0], lambda u, v: True, max_iterations=3)
+        assert iterations == 3

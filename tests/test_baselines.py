@@ -1,0 +1,141 @@
+"""Tests for the CPU and GPU baseline engines."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import bfs, reference_bfs_levels
+from repro.baselines.cpu import (
+    CPUCostModel,
+    LigraEngine,
+    LigraPlusEngine,
+    NaiveCPUEngine,
+)
+from repro.baselines.gpucsr import GPUCSREngine
+from repro.baselines.gunrock_like import FRAMEWORK_MEMORY_OVERHEAD, GunrockLikeEngine
+from repro.gpu.device import GPUDevice, GPUOutOfMemoryError
+from repro.traversal.gcgt import GCGTEngine
+
+CPU_ENGINES = {
+    "Naive": NaiveCPUEngine,
+    "Ligra": LigraEngine,
+    "Ligra+": LigraPlusEngine,
+}
+
+
+class TestCPUEngines:
+    @pytest.mark.parametrize("name", sorted(CPU_ENGINES))
+    def test_bfs_matches_reference(self, name, web_graph):
+        engine = CPU_ENGINES[name](web_graph)
+        result = bfs(engine, 0)
+        assert np.array_equal(result.levels, reference_bfs_levels(web_graph.adjacency(), 0))
+
+    def test_naive_is_single_threaded_and_slowest(self, web_graph):
+        naive = NaiveCPUEngine(web_graph)
+        ligra = LigraEngine(web_graph, num_threads=36)
+        bfs(naive, 0)
+        bfs(ligra, 0)
+        assert naive.num_threads == 1
+        assert naive.elapsed_proxy() > ligra.elapsed_proxy()
+
+    def test_ligra_plus_reports_compression_and_decode_overhead(self, web_graph):
+        plain = LigraEngine(web_graph)
+        compressed = LigraPlusEngine(web_graph)
+        bfs(plain, 0)
+        bfs(compressed, 0)
+        assert compressed.compression_rate > 1.0
+        assert plain.compression_rate == 1.0
+        assert compressed.cost() > plain.cost()  # decode overhead in total work
+
+    def test_metrics_reset(self, tiny_graph):
+        engine = NaiveCPUEngine(tiny_graph)
+        bfs(engine, 0)
+        assert engine.metrics.edge_ops > 0
+        engine.reset_metrics()
+        assert engine.metrics.edge_ops == 0
+
+    def test_cost_model_weights_are_used(self, tiny_graph):
+        expensive = NaiveCPUEngine(tiny_graph, cost_model=CPUCostModel(edge_op_cost=100.0))
+        cheap = NaiveCPUEngine(tiny_graph, cost_model=CPUCostModel(edge_op_cost=1.0))
+        bfs(expensive, 0)
+        bfs(cheap, 0)
+        assert expensive.cost() > cheap.cost()
+
+
+class TestGPUCSR:
+    def test_bfs_matches_reference_on_all_fixture_graphs(
+        self, web_graph, skewed_graph, dense_graph
+    ):
+        for graph in (web_graph, skewed_graph, dense_graph):
+            engine = GPUCSREngine.from_graph(graph)
+            assert np.array_equal(
+                bfs(engine, 0).levels, reference_bfs_levels(graph.adjacency(), 0)
+            )
+
+    def test_compression_rate_is_one(self, tiny_graph):
+        assert GPUCSREngine.from_graph(tiny_graph).compression_rate == 1.0
+
+    def test_metrics_accumulate_and_reset(self, web_graph):
+        engine = GPUCSREngine.from_graph(web_graph)
+        bfs(engine, 0)
+        assert engine.metrics.instruction_rounds > 0
+        engine.reset_metrics()
+        assert engine.metrics.instruction_rounds == 0
+
+    def test_oom_when_graph_exceeds_device_memory(self, web_graph):
+        device = GPUDevice(device_memory_bytes=16)
+        with pytest.raises(GPUOutOfMemoryError):
+            GPUCSREngine.from_graph(web_graph, device=device)
+
+    def test_balanced_expansion_has_high_lane_utilization(self, web_graph):
+        engine = GPUCSREngine.from_graph(web_graph)
+        bfs(engine, 0)
+        assert engine.metrics.lane_utilization > 0.7
+
+
+class TestGunrockLike:
+    def test_bfs_matches_reference(self, web_graph):
+        engine = GunrockLikeEngine.from_graph(web_graph)
+        assert np.array_equal(
+            bfs(engine, 0).levels, reference_bfs_levels(web_graph.adjacency(), 0)
+        )
+
+    def test_framework_overhead_makes_it_slower_than_gpucsr(self, web_graph):
+        plain = GPUCSREngine.from_graph(web_graph)
+        framework = GunrockLikeEngine.from_graph(web_graph)
+        bfs(plain, 0)
+        bfs(framework, 0)
+        assert framework.cost() > plain.cost()
+
+    def test_ooms_before_gpucsr_does(self, web_graph):
+        # A device sized between 1x and 3x the CSR footprint: bare CSR fits,
+        # the framework does not.
+        from repro.graph.csr import CSRGraph
+
+        csr_bytes = CSRGraph.from_graph(web_graph).size_in_bytes()
+        device = GPUDevice(device_memory_bytes=int(csr_bytes * (FRAMEWORK_MEMORY_OVERHEAD - 1)))
+        GPUCSREngine.from_graph(web_graph, device=device)
+        with pytest.raises(GPUOutOfMemoryError):
+            GunrockLikeEngine.from_graph(web_graph, device=device)
+
+
+class TestCrossEngineAgreement:
+    @pytest.mark.parametrize("source", [0, 3, 11])
+    def test_all_engines_agree_on_bfs_levels(self, skewed_graph, source):
+        reference = reference_bfs_levels(skewed_graph.adjacency(), source)
+        engines = [
+            NaiveCPUEngine(skewed_graph),
+            LigraEngine(skewed_graph),
+            LigraPlusEngine(skewed_graph),
+            GPUCSREngine.from_graph(skewed_graph),
+            GunrockLikeEngine.from_graph(skewed_graph),
+            GCGTEngine.from_graph(skewed_graph),
+        ]
+        for engine in engines:
+            assert np.array_equal(bfs(engine, source).levels, reference)
+
+    def test_gcgt_uses_far_less_device_memory_than_csr(self, web_graph):
+        from repro.graph.csr import CSRGraph
+
+        gcgt = GCGTEngine.from_graph(web_graph)
+        csr = CSRGraph.from_graph(web_graph)
+        assert gcgt.graph.size_in_bytes() < csr.size_in_bytes() / 2

@@ -1,0 +1,128 @@
+"""Unit tests for the bit writer/reader."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitarray import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_has_zero_length(self):
+        assert BitWriter().bit_length == 0
+
+    def test_write_single_bits(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bit(0)
+        writer.write_bit(1)
+        assert writer.to_bitstring() == "101"
+
+    def test_write_bit_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_write_bits_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        assert writer.to_bitstring() == "1011"
+
+    def test_write_bits_with_leading_zeros(self):
+        writer = BitWriter()
+        writer.write_bits(3, 6)
+        assert writer.to_bitstring() == "000011"
+
+    def test_write_bits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(16, 4)
+
+    def test_write_bits_zero_width(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.bit_length == 0
+
+    def test_write_unary(self):
+        writer = BitWriter()
+        writer.write_unary(3)
+        assert writer.to_bitstring() == "0001"
+
+    def test_extend_concatenates(self):
+        a, b = BitWriter(), BitWriter()
+        a.write_bits(0b10, 2)
+        b.write_bits(0b01, 2)
+        a.extend(b)
+        assert a.to_bitstring() == "1001"
+
+    def test_pad_to_appends_fill_bits(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.pad_to(5)
+        assert writer.to_bitstring() == "10000"
+
+    def test_pad_to_rejects_shrinking(self):
+        writer = BitWriter()
+        writer.write_bits(0b111, 3)
+        with pytest.raises(ValueError):
+            writer.pad_to(2)
+
+    def test_to_bytes_pads_final_byte(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.to_bytes() == bytes([0b1010_0000])
+
+
+class TestBitReader:
+    def test_read_bits_round_trip(self):
+        writer = BitWriter()
+        writer.write_bits(0b110101, 6)
+        reader = BitReader.from_writer(writer)
+        assert reader.read_bits(6) == 0b110101
+
+    def test_read_bit_advances_position(self):
+        reader = BitReader.from_bitstring("10")
+        assert reader.read_bit() == 1
+        assert reader.position == 1
+        assert reader.read_bit() == 0
+        assert reader.exhausted()
+
+    def test_read_past_end_raises(self):
+        reader = BitReader.from_bitstring("1")
+        reader.read_bit()
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_read_unary(self):
+        reader = BitReader.from_bitstring("0001rest-ignored")
+        assert reader.read_unary() == 3
+
+    def test_seek_and_fork_are_independent(self):
+        reader = BitReader.from_bitstring("10110")
+        fork = reader.fork(2)
+        assert fork.read_bits(3) == 0b110
+        assert reader.position == 0
+
+    def test_from_bytes_round_trip(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011001, 7)
+        reader = BitReader.from_bytes(writer.to_bytes(), bit_length=7)
+        assert reader.read_bits(7) == 0b1011001
+
+    def test_remaining_counts_unread_bits(self):
+        reader = BitReader.from_bitstring("1111")
+        reader.read_bits(3)
+        assert reader.remaining == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+def test_write_then_read_bits_round_trip(bits):
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader.from_writer(writer)
+    assert [reader.read_bit() for _ in bits] == bits
+
+
+@given(st.integers(min_value=0, max_value=2**40 - 1), st.integers(min_value=40, max_value=60))
+def test_write_bits_value_width_round_trip(value, width):
+    writer = BitWriter()
+    writer.write_bits(value, width)
+    assert BitReader.from_writer(writer).read_bits(width) == value

@@ -1,0 +1,168 @@
+"""Tests for the CGR encoder/decoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.cgr import CGRConfig, CGRGraph, encode_graph
+from repro.graph.generators import power_law_graph, web_locality_graph
+
+
+def adjacency_strategy(max_nodes=40, max_degree=20):
+    """Random small graphs as adjacency lists."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.lists(
+            st.lists(st.integers(min_value=0, max_value=n - 1), max_size=max_degree),
+            min_size=n,
+            max_size=n,
+        )
+    )
+
+
+class TestCGRConfig:
+    def test_paper_defaults(self):
+        config = CGRConfig.paper_defaults()
+        assert config.vlc_scheme == "zeta3"
+        assert config.min_interval_length == 4
+        assert config.residual_segment_bits == 256
+        assert config.residual_segment_bytes == 32
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            CGRConfig(vlc_scheme="nope")
+
+    def test_rejects_tiny_segments(self):
+        with pytest.raises(ValueError):
+            CGRConfig(residual_segment_bits=4)
+
+
+class TestRoundTrip:
+    def test_figure1_example_graph(self, tiny_graph):
+        cgr = encode_graph(tiny_graph.adjacency())
+        for node in range(tiny_graph.num_nodes):
+            assert cgr.neighbors(node) == tiny_graph.neighbors(node)
+        assert cgr.num_edges == tiny_graph.num_edges
+
+    def test_figure2_example_adjacency(self, paper_adjacency_example):
+        node, neighbors = paper_adjacency_example
+        adjacency = [[] for _ in range(node)] + [neighbors] + [[] for _ in range(102 - node - 1)]
+        cgr = encode_graph(adjacency, CGRConfig(min_interval_length=3, residual_segment_bits=None))
+        assert cgr.neighbors(node) == neighbors
+        layout = cgr.layout(node)
+        assert layout.degree == 10
+        assert len(layout.intervals) == 2
+        assert layout.residuals == [12, 24, 101]
+
+    @pytest.mark.parametrize("scheme", ["gamma", "zeta2", "zeta3", "zeta4"])
+    def test_round_trip_all_schemes(self, web_graph, scheme):
+        config = CGRConfig(vlc_scheme=scheme, residual_segment_bits=None)
+        cgr = encode_graph(web_graph.adjacency(), config)
+        for node in range(0, web_graph.num_nodes, 17):
+            assert cgr.neighbors(node) == web_graph.neighbors(node)
+
+    @pytest.mark.parametrize("segment_bits", [64, 128, 256, None])
+    def test_round_trip_segmented_and_not(self, skewed_graph, segment_bits):
+        config = CGRConfig(residual_segment_bits=segment_bits)
+        cgr = encode_graph(skewed_graph.adjacency(), config)
+        for node in range(skewed_graph.num_nodes):
+            assert cgr.neighbors(node) == skewed_graph.neighbors(node)
+
+    @pytest.mark.parametrize("min_interval", [2, 4, 10, float("inf")])
+    def test_round_trip_interval_settings(self, web_graph, min_interval):
+        config = CGRConfig(min_interval_length=min_interval, residual_segment_bits=None)
+        cgr = encode_graph(web_graph.adjacency(), config)
+        for node in range(0, web_graph.num_nodes, 13):
+            assert cgr.neighbors(node) == web_graph.neighbors(node)
+
+    def test_empty_graph(self):
+        cgr = encode_graph([])
+        assert cgr.num_nodes == 0
+        assert cgr.num_edges == 0
+
+    def test_graph_with_isolated_nodes(self):
+        cgr = encode_graph([[], [0], [], []])
+        assert cgr.neighbors(0) == []
+        assert cgr.neighbors(1) == [0]
+        assert cgr.degree(2) == 0
+
+
+class TestStatistics:
+    def test_compression_rate_definition(self, web_graph):
+        cgr = encode_graph(web_graph.adjacency())
+        assert cgr.compression_rate == pytest.approx(32.0 / cgr.bits_per_edge)
+
+    def test_web_graph_compresses_well(self, web_graph):
+        cgr = encode_graph(web_graph.adjacency())
+        assert cgr.compression_rate > 3.0
+
+    def test_locality_graph_compresses_better_than_random(self, web_graph, skewed_graph):
+        web = encode_graph(web_graph.adjacency())
+        skewed = encode_graph(skewed_graph.adjacency())
+        assert web.compression_rate > skewed.compression_rate
+
+    def test_node_bit_length_sums_to_total(self, web_graph):
+        cgr = encode_graph(web_graph.adjacency())
+        total = sum(cgr.node_bit_length(v) for v in range(cgr.num_nodes))
+        assert total == cgr.total_bits
+
+    def test_segmentation_costs_some_compression(self, skewed_graph):
+        segmented = encode_graph(skewed_graph.adjacency(), CGRConfig(residual_segment_bits=128))
+        unsegmented = encode_graph(
+            skewed_graph.adjacency(), CGRConfig(residual_segment_bits=None)
+        )
+        assert segmented.total_bits >= unsegmented.total_bits
+
+    def test_size_in_bytes_positive(self, web_graph):
+        cgr = encode_graph(web_graph.adjacency())
+        assert cgr.size_in_bytes() > 0
+
+    def test_out_of_range_node_raises(self, tiny_graph):
+        cgr = encode_graph(tiny_graph.adjacency())
+        with pytest.raises(IndexError):
+            cgr.neighbors(99)
+
+
+class TestLayout:
+    def test_layout_reports_segments(self, skewed_graph):
+        cgr = encode_graph(skewed_graph.adjacency(), CGRConfig(residual_segment_bits=128))
+        hub = max(range(skewed_graph.num_nodes), key=skewed_graph.out_degree)
+        layout = cgr.layout(hub)
+        assert layout.degree == skewed_graph.out_degree(hub)
+        assert len(layout.segment_offsets) == len(layout.segment_counts)
+        assert sum(layout.segment_counts) == layout.residual_count
+
+    def test_long_residual_run_spans_multiple_segments(self):
+        # A node whose residuals cannot fit one 16-byte segment.
+        neighbors = sorted({3 * i + 1 for i in range(200)})
+        adjacency = [neighbors] + [[] for _ in range(700)]
+        cgr = encode_graph(adjacency, CGRConfig(residual_segment_bits=128))
+        layout = cgr.layout(0)
+        assert len(layout.segment_counts) > 1
+        assert cgr.neighbors(0) == neighbors
+
+
+@settings(max_examples=30, deadline=None)
+@given(adjacency_strategy())
+def test_property_cgr_round_trip_random_graphs(adjacency):
+    """Encoding then decoding reproduces every adjacency list exactly."""
+    cleaned = [sorted(set(neighbors)) for neighbors in adjacency]
+    cgr = CGRGraph.from_adjacency(cleaned, CGRConfig(residual_segment_bits=128))
+    for node, neighbors in enumerate(cleaned):
+        assert cgr.neighbors(node) == neighbors
+
+
+@settings(max_examples=20, deadline=None)
+@given(adjacency_strategy(), st.sampled_from(["gamma", "zeta2", "zeta3"]))
+def test_property_cgr_round_trip_across_schemes(adjacency, scheme):
+    cleaned = [sorted(set(neighbors)) for neighbors in adjacency]
+    cgr = CGRGraph.from_adjacency(cleaned, CGRConfig(vlc_scheme=scheme, residual_segment_bits=None))
+    for node, neighbors in enumerate(cleaned):
+        assert cgr.neighbors(node) == neighbors
+
+
+def test_realistic_graphs_round_trip_fully():
+    for graph in (
+        web_locality_graph(150, seed=3),
+        power_law_graph(150, hub_count=2, seed=4),
+    ):
+        cgr = encode_graph(graph.adjacency())
+        assert list(cgr.iter_adjacency()) == graph.adjacency()

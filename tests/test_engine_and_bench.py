@@ -1,0 +1,165 @@
+"""Tests for the GCGT engine configuration and the benchmark harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import bfs, reference_bfs_levels
+from repro.bench import figures
+from repro.bench.harness import (
+    BENCH_SCALES,
+    bench_graph,
+    paper_scale_oom,
+    run_application,
+    run_bfs_approach,
+    run_gcgt_bfs,
+)
+from repro.bench.reporting import format_table
+from repro.compression.cgr import CGRConfig
+from repro.gpu.device import GPUDevice, GPUOutOfMemoryError
+from repro.traversal.gcgt import GCGTConfig, GCGTEngine, STRATEGY_LADDER
+
+SMALL = 300  # node count that keeps harness tests fast
+
+
+class TestGCGTConfig:
+    def test_defaults_enable_everything(self):
+        config = GCGTConfig()
+        assert config.strategy_name == "ResidualSegmentation"
+        assert config.effective_cgr_config().residual_segment_bits is not None
+
+    def test_disabling_segmentation_strips_segments_from_encoding(self):
+        config = GCGTConfig(residual_segmentation=False)
+        assert config.effective_cgr_config().residual_segment_bits is None
+
+    def test_ladder_is_cumulative(self):
+        names = list(STRATEGY_LADDER)
+        assert names == [
+            "Intuitive", "TwoPhaseTraversal", "TaskStealing",
+            "Warp-centric", "ResidualSegmentation",
+        ]
+
+    def test_custom_cgr_config_is_respected(self, web_graph):
+        config = GCGTConfig(cgr=CGRConfig(vlc_scheme="gamma"))
+        engine = GCGTEngine.from_graph(web_graph, config)
+        assert engine.graph.config.vlc_scheme == "gamma"
+
+
+class TestGCGTEngine:
+    def test_engine_reports_graph_facts(self, web_graph):
+        engine = GCGTEngine.from_graph(web_graph)
+        assert engine.num_nodes == web_graph.num_nodes
+        assert engine.num_edges == web_graph.num_edges
+        assert engine.compression_rate > 1.0
+
+    def test_expand_one_iteration(self, tiny_graph):
+        engine = GCGTEngine.from_graph(tiny_graph)
+        visited = {0}
+
+        def admit(u, v):
+            if v in visited:
+                return False
+            visited.add(v)
+            return True
+
+        frontier = engine.expand([0], admit)
+        assert sorted(frontier) == [1, 3, 4]
+        assert engine.metrics.launches == 1
+
+    def test_reset_metrics(self, tiny_graph):
+        engine = GCGTEngine.from_graph(tiny_graph)
+        bfs(engine, 0)
+        assert engine.cost() > 0
+        engine.reset_metrics()
+        assert engine.cost() == 0
+
+    def test_oom_check_on_construction(self, web_graph):
+        device = GPUDevice(device_memory_bytes=8)
+        with pytest.raises(GPUOutOfMemoryError):
+            GCGTEngine.from_graph(web_graph, device=device)
+
+
+class TestHarness:
+    def test_bench_scales_cover_all_paper_datasets(self):
+        assert set(BENCH_SCALES) == {"uk-2002", "uk-2007", "ljournal", "twitter", "brain"}
+
+    def test_bench_graph_caches(self):
+        assert bench_graph("uk-2002", SMALL) is bench_graph("uk-2002", SMALL)
+
+    def test_run_gcgt_bfs_returns_engine_and_cost(self):
+        graph = bench_graph("uk-2002", SMALL)
+        engine, cost = run_gcgt_bfs(graph)
+        assert cost > 0
+        assert engine.compression_rate > 1.0
+
+    def test_run_bfs_approach_cpu_and_gpu(self):
+        for approach in ("Naive", "Ligra", "GPUCSR", "GCGT"):
+            row = run_bfs_approach(approach, "uk-2002", graph=bench_graph("uk-2002", SMALL))
+            assert row.elapsed > 0 and not row.oom
+
+    def test_unknown_approach_rejected(self):
+        with pytest.raises(KeyError):
+            run_bfs_approach("Spark", "uk-2002", graph=bench_graph("uk-2002", SMALL))
+
+    def test_paper_scale_oom_matches_figure8(self):
+        # Gunrock (3x CSR) must not fit uk-2007 and twitter, CSR itself must fit.
+        assert paper_scale_oom("uk-2007", 32.0, overhead=3.0)
+        assert paper_scale_oom("twitter", 32.0, overhead=3.0)
+        assert not paper_scale_oom("uk-2007", 32.0, overhead=1.0)
+        assert not paper_scale_oom("uk-2002", 32.0, overhead=3.0)
+        assert not paper_scale_oom("uk-2007", 2.0)  # CGR-scale footprint fits
+
+    def test_run_application_cc_and_bc(self):
+        graph = bench_graph("uk-2002", SMALL)
+        for application in ("CC", "BC"):
+            row = run_application("GCGT", application, "uk-2002", graph=graph)
+            assert row.extra["application"] == application
+            assert row.elapsed > 0
+
+
+class TestFigures:
+    def test_table1_lists_all_datasets(self):
+        rows = figures.table1(scale=SMALL)
+        assert {row["dataset"] for row in rows} == set(BENCH_SCALES)
+
+    def test_table2_matches_paper_selection(self):
+        rows = {row["parameter"]: row["value"] for row in figures.table2()}
+        assert rows["VLC scheme"] == "zeta3"
+        assert rows["Min Interval Length"] == 4
+        assert rows["Residual Segment Length"] == "32 bytes"
+
+    def test_table3_reproduces_code_words(self):
+        rows = {row["integer"]: row for row in figures.table3()}
+        assert rows[6]["gamma"] == "00110"
+        assert rows[6]["zeta2"] == "010110"
+        assert rows[6]["zeta3"] == "1110"
+
+    def test_figure9_rows_have_speedups(self):
+        rows = figures.figure9(datasets=["uk-2002"], scale=SMALL)
+        assert len(rows) == len(STRATEGY_LADDER)
+        final = rows[-1]
+        assert final["configuration"] == "ResidualSegmentation"
+        assert final["speedup_vs_intuitive"] > 0.8
+
+    def test_figure8_marks_gunrock_oom_on_largest_datasets(self):
+        rows = figures.figure8(datasets=["twitter"], scale=SMALL)
+        by_approach = {row["approach"]: row for row in rows}
+        assert by_approach["Gunrock"]["oom"]
+        assert not by_approach["GCGT"]["oom"]
+        assert by_approach["GCGT"]["compression_rate"] > 1.5
+
+    def test_format_table_renders_all_columns(self):
+        rows = [{"a": 1, "b": 2.5, "c": True}]
+        text = format_table(rows)
+        assert "a" in text and "2.50" in text and "yes" in text
+        assert format_table([]) == "(no rows)"
+
+
+def test_gcgt_bfs_correct_on_bench_scale_models():
+    for dataset in ("uk-2002", "twitter"):
+        graph = bench_graph(dataset, SMALL)
+        engine, _ = run_gcgt_bfs(graph)
+        result = bfs(engine, 0)
+        assert np.array_equal(result.levels, reference_bfs_levels(graph.adjacency(), 0))
+        assert not math.isnan(engine.compression_rate)

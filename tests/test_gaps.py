@@ -1,0 +1,86 @@
+"""Tests for the gap transformation and shifting rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.gaps import (
+    from_vlc_value,
+    gap_decode_sequence,
+    gap_encode_sequence,
+    to_vlc_value,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestZigZag:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [(0, 0), (1, 2), (2, 4), (-1, 1), (-2, 3), (-100, 199), (100, 200)],
+    )
+    def test_known_values(self, value, encoded):
+        assert zigzag_encode(value) == encoded
+        assert zigzag_decode(encoded) == value
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            zigzag_decode(-1)
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31))
+    def test_round_trip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31))
+    def test_encoding_is_non_negative(self, value):
+        assert zigzag_encode(value) >= 0
+
+
+class TestVLCShift:
+    def test_shift_round_trip(self):
+        for value in range(0, 10):
+            assert from_vlc_value(to_vlc_value(value)) == value
+
+    def test_to_vlc_rejects_negative(self):
+        with pytest.raises(ValueError):
+            to_vlc_value(-1)
+
+    def test_from_vlc_rejects_zero(self):
+        with pytest.raises(ValueError):
+            from_vlc_value(0)
+
+
+class TestGapSequences:
+    def test_example_from_paper_figure2_residuals(self):
+        # Residuals of node 16: 12, 24, 101 -> gaps -4, 11, 76 (before the
+        # -1 shift for later gaps the raw differences are 12 and 77).
+        gaps = gap_encode_sequence([12, 24, 101], reference=16)
+        assert gaps[0] == zigzag_encode(-4)
+        assert gaps[1] == 24 - 12 - 1
+        assert gaps[2] == 101 - 24 - 1
+
+    def test_empty_sequence(self):
+        assert gap_encode_sequence([], reference=5) == []
+        assert gap_decode_sequence([], reference=5) == []
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            gap_encode_sequence([3, 3], reference=0)
+        with pytest.raises(ValueError):
+            gap_encode_sequence([5, 2], reference=0)
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100, unique=True),
+    )
+    def test_round_trip(self, reference, values):
+        values = sorted(values)
+        gaps = gap_encode_sequence(values, reference)
+        assert gap_decode_sequence(gaps, reference) == values
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100, unique=True),
+    )
+    def test_all_gaps_non_negative(self, reference, values):
+        gaps = gap_encode_sequence(sorted(values), reference)
+        assert all(gap >= 0 for gap in gaps)

@@ -1,0 +1,147 @@
+"""Tests for graph generators, dataset models and edge-list I/O."""
+
+import pytest
+
+from repro.compression.cgr import encode_graph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+    rmat_graph,
+    uniform_dense_graph,
+    web_locality_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestGenerators:
+    def test_web_graph_is_deterministic(self):
+        assert web_locality_graph(100, seed=1) == web_locality_graph(100, seed=1)
+        assert web_locality_graph(100, seed=1) != web_locality_graph(100, seed=2)
+
+    def test_web_graph_has_locality(self):
+        graph = web_locality_graph(300, avg_degree=14, seed=3)
+        cgr = encode_graph(graph.adjacency())
+        random = erdos_renyi_graph(300, avg_degree=14, seed=3)
+        random_cgr = encode_graph(random.adjacency())
+        assert cgr.compression_rate > random_cgr.compression_rate
+
+    def test_power_law_graph_has_skew(self):
+        graph = power_law_graph(
+            400, avg_degree=10, max_degree_fraction=0.25, hub_count=3, seed=5
+        )
+        degrees = graph.degrees()
+        assert degrees.max() >= 10 * degrees.mean()
+
+    def test_power_law_hub_count_forces_super_nodes(self):
+        graph = power_law_graph(
+            500, avg_degree=8, max_degree_fraction=0.3, hub_count=4, seed=9
+        )
+        big = (graph.degrees() >= 0.25 * 500).sum()
+        assert big >= 4
+
+    def test_rmat_graph_shape(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=1)
+        assert graph.num_nodes == 256
+        assert graph.num_edges > 0
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(scale=4, a=0.6, b=0.3, c=0.2)
+
+    def test_uniform_dense_graph_degrees_are_uniform(self):
+        graph = uniform_dense_graph(256, degree=32, cluster_size=64, seed=2)
+        degrees = graph.degrees()
+        assert degrees.mean() > 20
+        assert degrees.std() < 0.3 * degrees.mean()
+
+    def test_erdos_renyi_within_bounds(self):
+        graph = erdos_renyi_graph(200, avg_degree=6, seed=4)
+        assert graph.num_nodes == 200
+        assert 0 < graph.average_degree < 12
+
+    def test_no_self_loops(self):
+        for graph in (
+            web_locality_graph(100, seed=0),
+            power_law_graph(100, seed=0),
+            uniform_dense_graph(100, degree=16, seed=0),
+        ):
+            assert all(s != t for s, t in graph.edges())
+
+
+class TestDatasets:
+    def test_all_five_paper_datasets_registered(self):
+        assert set(DATASETS) == {"uk-2002", "uk-2007", "ljournal", "twitter", "brain"}
+
+    def test_load_dataset_caches(self):
+        a = load_dataset("uk-2002", scale=200)
+        b = load_dataset("uk-2002", scale=200)
+        assert a is b
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("facebook")
+
+    def test_scale_controls_node_count(self):
+        graph = load_dataset("ljournal", scale=300)
+        assert graph.num_nodes == 300
+
+    def test_web_models_compress_better_than_social_models(self):
+        web = encode_graph(load_dataset("uk-2002", scale=400).adjacency())
+        social = encode_graph(load_dataset("twitter", scale=400).adjacency())
+        assert web.compression_rate > social.compression_rate
+
+    def test_twitter_model_has_super_nodes(self):
+        graph = load_dataset("twitter", scale=600)
+        assert graph.degrees().max() > 5 * graph.average_degree
+
+    def test_brain_model_is_dense_and_undirected(self):
+        graph = load_dataset("brain", scale=400)
+        assert graph.average_degree > 50
+        for source, target in list(graph.edges())[:200]:
+            assert graph.has_edge(target, source)
+
+    def test_projected_footprint_reflects_paper_scale(self):
+        spec = DATASETS["uk-2007"]
+        csr = spec.projected_footprint_bytes(bits_per_edge=32.0)
+        cgr = spec.projected_footprint_bytes(bits_per_edge=2.0)
+        assert csr > 5 * cgr
+        assert spec.stored_edges_at_paper_scale() < spec.paper_edge_count
+
+
+class TestEdgeListIO:
+    def test_write_then_read_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(tiny_graph, path)
+        assert read_edge_list(path) == tiny_graph
+
+    def test_header_preserves_isolated_trailing_nodes(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        graph = Graph([[1], [], [], []])  # nodes 2 and 3 are isolated
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        assert read_edge_list(path).num_nodes == 4
+
+    def test_read_without_header_infers_node_count(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+        assert graph.neighbors(1) == [2]
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("% comment\n\n# another\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_explicit_node_count_override(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path, num_nodes=10).num_nodes == 10

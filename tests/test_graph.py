@@ -1,0 +1,168 @@
+"""Tests for the graph container and CSR format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+
+
+class TestGraphConstruction:
+    def test_from_edges_drops_self_loops_and_duplicates(self):
+        graph = Graph.from_edges(4, [(0, 1), (0, 1), (1, 1), (2, 3)])
+        assert graph.neighbors(0) == [1]
+        assert graph.neighbors(1) == []
+        assert graph.num_edges == 2
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, [(0, 5)])
+
+    def test_adjacency_is_sorted_and_deduplicated(self):
+        graph = Graph([[3, 1, 3, 2], [], [], []])
+        assert graph.neighbors(0) == [1, 2, 3]
+
+    def test_neighbor_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([[5]])
+
+    def test_empty_graph(self):
+        graph = Graph.empty(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 0
+        assert graph.average_degree == 0.0
+
+
+class TestGraphQueries:
+    def test_figure1_statistics(self, tiny_graph):
+        assert tiny_graph.num_nodes == 8
+        assert tiny_graph.num_edges == 10
+        assert tiny_graph.out_degree(0) == 3
+        assert tiny_graph.out_degree(3) == 0
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 3)
+        assert not tiny_graph.has_edge(3, 0)
+
+    def test_edges_iterates_all(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        assert len(edges) == tiny_graph.num_edges
+        assert (0, 1) in edges and (6, 7) in edges
+
+    def test_degree_stats(self, tiny_graph):
+        stats = tiny_graph.degree_stats()
+        assert stats.minimum == 0
+        assert stats.maximum == 3
+        assert stats.mean == pytest.approx(10 / 8)
+
+    def test_node_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.neighbors(50)
+
+
+class TestGraphTransforms:
+    def test_to_undirected_symmetrises(self, tiny_graph):
+        undirected = tiny_graph.to_undirected()
+        assert undirected.has_edge(1, 0)
+        assert undirected.has_edge(0, 1)
+        for source, target in tiny_graph.edges():
+            assert undirected.has_edge(target, source)
+
+    def test_reversed_flips_all_edges(self, tiny_graph):
+        reversed_graph = tiny_graph.reversed()
+        for source, target in tiny_graph.edges():
+            assert reversed_graph.has_edge(target, source)
+        assert reversed_graph.num_edges == tiny_graph.num_edges
+
+    def test_relabel_preserves_topology(self, tiny_graph):
+        permutation = [7, 6, 5, 4, 3, 2, 1, 0]
+        relabelled = tiny_graph.relabel(permutation)
+        assert relabelled.num_edges == tiny_graph.num_edges
+        for source, target in tiny_graph.edges():
+            assert relabelled.has_edge(permutation[source], permutation[target])
+
+    def test_relabel_identity_is_equal(self, tiny_graph):
+        assert tiny_graph.relabel(list(range(8))) == tiny_graph
+
+    def test_relabel_rejects_non_bijection(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.relabel([0] * 8)
+        with pytest.raises(ValueError):
+            tiny_graph.relabel([0, 1, 2])
+
+    def test_subgraph_relabels_compactly(self, tiny_graph):
+        sub = tiny_graph.subgraph([0, 1, 4])
+        assert sub.num_nodes == 3
+        # Edge 0 -> 4 becomes 0 -> 2, edge 1 -> 4 becomes 1 -> 2.
+        assert sub.has_edge(0, 2)
+        assert sub.has_edge(1, 2)
+        assert sub.num_edges == 3
+
+
+class TestCSR:
+    def test_from_graph_matches_adjacency(self, tiny_graph):
+        csr = CSRGraph.from_graph(tiny_graph)
+        assert csr.num_nodes == tiny_graph.num_nodes
+        assert csr.num_edges == tiny_graph.num_edges
+        for node in range(tiny_graph.num_nodes):
+            assert csr.neighbors(node).tolist() == tiny_graph.neighbors(node)
+            assert csr.degree(node) == tiny_graph.out_degree(node)
+
+    def test_figure1_row_offsets(self, tiny_graph):
+        csr = CSRGraph.from_graph(tiny_graph)
+        assert csr.indptr.tolist() == [0, 3, 6, 7, 7, 7, 9, 10, 10]
+
+    def test_round_trip_to_graph(self, web_graph):
+        csr = CSRGraph.from_graph(web_graph)
+        assert csr.to_graph() == web_graph
+
+    def test_degrees_vector(self, tiny_graph):
+        csr = CSRGraph.from_graph(tiny_graph)
+        assert csr.degrees().tolist() == [3, 3, 1, 0, 0, 2, 1, 0]
+
+    def test_validation_of_malformed_arrays(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 3]), np.array([0, 1]))
+
+    def test_size_in_bytes(self, tiny_graph):
+        csr = CSRGraph.from_graph(tiny_graph)
+        assert csr.size_in_bytes() == 4 * 10 + 8 * 9
+
+    def test_node_out_of_range(self, tiny_graph):
+        csr = CSRGraph.from_graph(tiny_graph)
+        with pytest.raises(IndexError):
+            csr.neighbors(99)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=120,
+            ),
+        )
+    )
+)
+def test_property_graph_csr_round_trip(data):
+    num_nodes, edges = data
+    graph = Graph.from_edges(num_nodes, edges)
+    assert CSRGraph.from_graph(graph).to_graph() == graph
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(list(range(12))))
+def test_property_relabel_is_invertible(permutation):
+    graph = Graph.from_edges(12, [(i, (i * 5 + 1) % 12) for i in range(12)])
+    inverse = [0] * len(permutation)
+    for old, new in enumerate(permutation):
+        inverse[new] = old
+    assert graph.relabel(list(permutation)).relabel(inverse) == graph

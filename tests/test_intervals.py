@@ -1,0 +1,103 @@
+"""Tests for the intervals-and-residuals split."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.intervals import (
+    Interval,
+    NO_INTERVALS,
+    merge_intervals_residuals,
+    split_intervals_residuals,
+)
+
+
+class TestInterval:
+    def test_nodes_and_end(self):
+        interval = Interval(start=18, length=4)
+        assert list(interval.nodes()) == [18, 19, 20, 21]
+        assert interval.end == 21
+
+
+class TestSplit:
+    def test_paper_example_node16(self):
+        # Figure 2: neighbours of node 16 split into two intervals and three
+        # residuals with a minimum interval length of 3.
+        neighbors = [12, 18, 19, 20, 21, 24, 27, 28, 29, 101]
+        form = split_intervals_residuals(neighbors, min_interval_length=3)
+        assert form.degree == 10
+        assert form.intervals == [Interval(18, 4), Interval(27, 3)]
+        assert form.residuals == [12, 24, 101]
+
+    def test_no_intervals_when_disabled(self):
+        neighbors = [1, 2, 3, 4, 5, 6, 7, 8]
+        form = split_intervals_residuals(neighbors, min_interval_length=NO_INTERVALS)
+        assert form.intervals == []
+        assert form.residuals == neighbors
+
+    def test_run_shorter_than_minimum_stays_residual(self):
+        form = split_intervals_residuals([5, 6, 7, 20], min_interval_length=4)
+        assert form.intervals == []
+        assert form.residuals == [5, 6, 7, 20]
+
+    def test_run_exactly_minimum_becomes_interval(self):
+        form = split_intervals_residuals([5, 6, 7, 8, 20], min_interval_length=4)
+        assert form.intervals == [Interval(5, 4)]
+        assert form.residuals == [20]
+
+    def test_empty_list(self):
+        form = split_intervals_residuals([], min_interval_length=4)
+        assert form.degree == 0
+        assert form.intervals == []
+        assert form.residuals == []
+
+    def test_whole_list_is_one_interval(self):
+        neighbors = list(range(100, 120))
+        form = split_intervals_residuals(neighbors, min_interval_length=4)
+        assert form.intervals == [Interval(100, 20)]
+        assert form.residuals == []
+        assert form.interval_coverage == 20
+
+    def test_rejects_unsorted_input(self):
+        with pytest.raises(ValueError):
+            split_intervals_residuals([3, 2, 5], min_interval_length=4)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            split_intervals_residuals([3, 3, 5], min_interval_length=4)
+
+    def test_rejects_min_interval_below_two(self):
+        with pytest.raises(ValueError):
+            split_intervals_residuals([1, 2, 3], min_interval_length=1)
+
+
+class TestMerge:
+    def test_merge_restores_original(self):
+        neighbors = [12, 18, 19, 20, 21, 24, 27, 28, 29, 101]
+        form = split_intervals_residuals(neighbors, min_interval_length=3)
+        assert merge_intervals_residuals(form) == neighbors
+
+    def test_merge_detects_inconsistent_degree(self):
+        form = split_intervals_residuals([1, 2, 3, 4], min_interval_length=4)
+        form.degree = 99
+        with pytest.raises(ValueError):
+            merge_intervals_residuals(form)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2000), min_size=0, max_size=200, unique=True),
+    st.sampled_from([2, 3, 4, 5, 10, NO_INTERVALS]),
+)
+def test_property_split_merge_round_trip(neighbors, min_length):
+    neighbors = sorted(neighbors)
+    form = split_intervals_residuals(neighbors, min_interval_length=min_length)
+    assert merge_intervals_residuals(form) == neighbors
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2000), min_size=1, max_size=200, unique=True),
+    st.sampled_from([2, 3, 4, 5, 10]),
+)
+def test_property_interval_lengths_respect_minimum(neighbors, min_length):
+    form = split_intervals_residuals(sorted(neighbors), min_interval_length=min_length)
+    assert all(interval.length >= min_length for interval in form.intervals)
+    assert form.interval_coverage + len(form.residuals) == form.degree

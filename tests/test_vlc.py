@@ -1,0 +1,144 @@
+"""Unit and property tests for the variable-length codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.vlc import (
+    VLC_SCHEMES,
+    VLCError,
+    decode_gamma,
+    decode_unary,
+    decode_zeta,
+    encode_gamma,
+    encode_unary,
+    encode_zeta,
+    get_scheme,
+)
+
+#: The exact code words of Table 3 in the paper.
+TABLE3 = {
+    1: {"gamma": "1", "zeta2": "101", "zeta3": "1001"},
+    2: {"gamma": "010", "zeta2": "110", "zeta3": "1010"},
+    3: {"gamma": "011", "zeta2": "111", "zeta3": "1011"},
+    4: {"gamma": "00100", "zeta2": "010100", "zeta3": "1100"},
+    5: {"gamma": "00101", "zeta2": "010101", "zeta3": "1101"},
+    6: {"gamma": "00110", "zeta2": "010110", "zeta3": "1110"},
+    12: {"gamma": "0001100", "zeta2": "011100", "zeta3": "01001100"},
+    34: {"gamma": "00000100010", "zeta2": "001100010", "zeta3": "01100010"},
+}
+
+
+@pytest.mark.parametrize("value,expected", sorted(TABLE3.items()))
+def test_table3_code_words_match_paper(value, expected):
+    for scheme_name, bits in expected.items():
+        assert get_scheme(scheme_name).encode_to_bits(value) == bits
+
+
+class TestUnary:
+    def test_round_trip_small_values(self):
+        for value in range(0, 20):
+            writer = BitWriter()
+            encode_unary(writer, value)
+            assert decode_unary(BitReader.from_writer(writer)) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(VLCError):
+            encode_unary(BitWriter(), -1)
+
+
+class TestGamma:
+    def test_one_is_single_bit(self):
+        assert get_scheme("gamma").encode_to_bits(1) == "1"
+
+    def test_rejects_zero_and_negative(self):
+        for bad in (0, -3):
+            with pytest.raises(VLCError):
+                encode_gamma(BitWriter(), bad)
+
+    def test_length_is_2l_minus_1(self):
+        scheme = get_scheme("gamma")
+        for value in (1, 2, 7, 8, 1023, 1024):
+            expected = 2 * value.bit_length() - 1
+            assert scheme.encoded_length(value) == expected
+
+    def test_decode_sequence(self):
+        writer = BitWriter()
+        for value in (1, 2, 3, 4, 5):
+            encode_gamma(writer, value)
+        reader = BitReader.from_writer(writer)
+        assert [decode_gamma(reader) for _ in range(5)] == [1, 2, 3, 4, 5]
+
+
+class TestZeta:
+    def test_zeta_rejects_bad_k(self):
+        with pytest.raises(VLCError):
+            encode_zeta(BitWriter(), 5, 0)
+        with pytest.raises(VLCError):
+            decode_zeta(BitReader.from_bitstring("1"), 0)
+
+    def test_zeta_rejects_zero(self):
+        with pytest.raises(VLCError):
+            encode_zeta(BitWriter(), 0, 3)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_round_trip_many_values(self, k):
+        values = list(range(1, 200)) + [10**3, 10**6, 2**31 - 1]
+        writer = BitWriter()
+        for value in values:
+            encode_zeta(writer, value, k)
+        reader = BitReader.from_writer(writer)
+        assert [decode_zeta(reader, k) for _ in values] == values
+
+    def test_small_values_shorter_in_zeta3_than_gamma_for_mid_range(self):
+        # zeta_k trades a slightly longer code for tiny values against much
+        # shorter codes in the mid range, which is why the paper selects it.
+        gamma, zeta3 = get_scheme("gamma"), get_scheme("zeta3")
+        assert zeta3.encoded_length(34) < gamma.encoded_length(34)
+
+
+class TestSchemeRegistry:
+    def test_known_schemes_present(self):
+        for name in ("gamma", "delta", "zeta2", "zeta3", "zeta4", "zeta5", "zeta6"):
+            assert name in VLC_SCHEMES
+
+    def test_get_scheme_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown VLC scheme"):
+            get_scheme("huffman")
+
+    @pytest.mark.parametrize("name", sorted(VLC_SCHEMES))
+    def test_every_scheme_round_trips(self, name):
+        scheme = VLC_SCHEMES[name]
+        writer = BitWriter()
+        values = [1, 2, 3, 17, 255, 256, 99999]
+        for value in values:
+            scheme.encode(writer, value)
+        reader = BitReader.from_writer(writer)
+        assert [scheme.decode(reader) for _ in values] == values
+
+
+@given(
+    st.sampled_from(sorted(VLC_SCHEMES)),
+    st.lists(st.integers(min_value=1, max_value=2**40), min_size=1, max_size=50),
+)
+def test_property_concatenated_codes_round_trip(scheme_name, values):
+    """Any concatenation of code words decodes back to the same values."""
+    scheme = VLC_SCHEMES[scheme_name]
+    writer = BitWriter()
+    for value in values:
+        scheme.encode(writer, value)
+    reader = BitReader.from_writer(writer)
+    assert [scheme.decode(reader) for _ in values] == values
+    assert reader.exhausted()
+
+
+@given(st.integers(min_value=1, max_value=2**40))
+def test_property_gamma_is_prefix_free_on_stream(value):
+    """Decoding stops exactly at the code boundary (prefix property)."""
+    writer = BitWriter()
+    encode_gamma(writer, value)
+    boundary = writer.bit_length
+    writer.write_bits(0b1010, 4)  # arbitrary trailing garbage
+    reader = BitReader.from_writer(writer)
+    assert decode_gamma(reader) == value
+    assert reader.position == boundary

@@ -1,0 +1,99 @@
+"""Tests for Algorithm 4: warp-centric parallel VLC decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.vlc import get_scheme
+from repro.traversal.warp_decode import parallel_vlc_decode
+
+
+def encode_stream(values, scheme_name="gamma"):
+    scheme = get_scheme(scheme_name)
+    writer = BitWriter()
+    for value in values:
+        scheme.encode(writer, value)
+    return BitReader.from_writer(writer), scheme
+
+
+class TestFigure5Example:
+    def test_gamma_one_to_five_with_sixteen_lanes(self):
+        """The worked example of Figure 5: values 1..5 in gamma code."""
+        reader, scheme = encode_stream([1, 2, 3, 4, 5])
+        result = parallel_vlc_decode(reader, warp_size=16, scheme=scheme, max_values=5)
+        assert result.values == [1, 2, 3, 4, 5]
+        # The valid code boundaries of Figure 5 are bit offsets 0, 1, 4, 7, 12.
+        assert result.valid_offsets == [0, 1, 4, 7, 12]
+        # Lemma 5.2: the marking pass needs O(log2 K) rounds.
+        assert result.marking_rounds <= 5
+
+    def test_marking_is_logarithmic_not_linear(self):
+        values = [1] * 12  # twelve 1-bit codes inside a 16-bit window
+        reader, scheme = encode_stream(values)
+        result = parallel_vlc_decode(reader, warp_size=16, scheme=scheme, max_values=12)
+        assert result.values == values
+        assert result.marking_rounds <= 5  # ~log2(12) + 1, far below 12
+
+
+class TestWindowSemantics:
+    def test_max_values_truncates_and_positions_resume(self):
+        reader, scheme = encode_stream([3, 5, 7, 9, 11], "zeta3")
+        first = parallel_vlc_decode(reader, warp_size=32, scheme=scheme, max_values=2)
+        assert first.values == [3, 5]
+        resumed = BitReader(reader.bits, first.next_position)
+        second = parallel_vlc_decode(resumed, warp_size=32, scheme=scheme, max_values=3)
+        assert second.values == [7, 9, 11]
+
+    def test_codes_longer_than_window_still_progress(self):
+        reader, scheme = encode_stream([2**20, 7], "gamma")
+        result = parallel_vlc_decode(reader, warp_size=8, scheme=scheme, max_values=2)
+        assert result.values[0] == 2**20
+        assert result.next_position > 0
+
+    def test_only_values_within_window_are_returned(self):
+        reader, scheme = encode_stream(list(range(1, 40)), "zeta2")
+        result = parallel_vlc_decode(reader, warp_size=16, scheme=scheme, max_values=100)
+        # Every returned value must be a prefix of the original sequence.
+        assert result.values == list(range(1, len(result.values) + 1))
+        assert len(result.values) >= 1
+
+    def test_max_code_bits_reflects_longest_taken_code(self):
+        reader, scheme = encode_stream([1, 1000], "gamma")
+        result = parallel_vlc_decode(reader, warp_size=32, scheme=scheme, max_values=2)
+        assert result.max_code_bits == get_scheme("gamma").encoded_length(1000)
+
+    def test_input_validation(self):
+        reader, scheme = encode_stream([1])
+        with pytest.raises(ValueError):
+            parallel_vlc_decode(reader, warp_size=0, scheme=scheme, max_values=1)
+        with pytest.raises(ValueError):
+            parallel_vlc_decode(reader, warp_size=8, scheme=scheme, max_values=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=60),
+    st.sampled_from(["gamma", "zeta2", "zeta3"]),
+    st.sampled_from([8, 16, 32]),
+)
+def test_property_windowed_decoding_reproduces_serial_decoding(values, scheme_name, warp_size):
+    """Repeatedly applying the warp decoder yields exactly the encoded stream."""
+    reader, scheme = encode_stream(values, scheme_name)
+    decoded = []
+    position = 0
+    safety = 0
+    while len(decoded) < len(values) and safety < 10 * len(values):
+        window_reader = BitReader(reader.bits, position)
+        result = parallel_vlc_decode(
+            window_reader, warp_size, scheme, max_values=len(values) - len(decoded)
+        )
+        if not result.values:
+            # Fall back to a serial decode for pathological windows.
+            fallback = BitReader(reader.bits, position)
+            decoded.append(scheme.decode(fallback))
+            position = fallback.position
+        else:
+            decoded.extend(result.values)
+            position = result.next_position
+        safety += 1
+    assert decoded == values
