@@ -25,6 +25,16 @@ FAST_SCALE = 500
 TINY_SCALE = 300
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every figure benchmark ``slow`` so CI can gate them separately.
+
+    This conftest only governs the ``benchmarks/`` directory, so the tier-1
+    unit tests under ``tests/`` are unaffected.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def run_once(benchmark):
     """Run a callable exactly once under pytest-benchmark and return its result."""

@@ -1,10 +1,13 @@
-"""Quickstart: compress a graph, run BFS on the compressed form, compare.
+"""Quickstart: register a graph with the traversal service, query it, compare.
 
 This is the 60-second tour of the library:
 
 1. generate (or load) a graph;
-2. compress it into CGR and inspect the compression rate;
-3. run BFS directly on the compressed representation with the GCGT engine;
+2. register it with the :class:`TraversalService` -- it is CGR-encoded
+   (zeta3 codes, intervals, residual segmentation) and loaded into simulated
+   device memory exactly once;
+3. submit a batch of BFS queries against the resident compressed graph and
+   watch the decoded-plan cache warm up;
 4. run the same BFS on the uncompressed GPU-CSR baseline and compare the
    simulated cost and device-memory footprint.
 
@@ -15,7 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import GCGTEngine, GPUCSREngine, bfs, load_dataset
+from repro import BFSQuery, GPUCSREngine, TraversalService, bfs, load_dataset
 from repro.graph.csr import CSRGraph
 
 
@@ -25,27 +28,34 @@ def main() -> None:
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
           f"average out-degree {graph.average_degree:.1f}")
 
-    # 2. Compress into CGR (zeta3 codes, intervals, residual segmentation).
-    engine = GCGTEngine.from_graph(graph)
-    print(f"CGR: {engine.graph.bits_per_edge:.2f} bits/edge, "
-          f"compression rate {engine.compression_rate:.1f}x, "
-          f"{engine.graph.size_in_bytes() / 1024:.1f} KiB on device")
+    # 2. Encode once and keep resident in (simulated) device memory.
+    service = TraversalService()
+    entry = service.register_graph("uk", graph)
+    print(f"CGR: {entry.cgr.bits_per_edge:.2f} bits/edge, "
+          f"compression rate {entry.compression_rate:.1f}x, "
+          f"{entry.cgr.size_in_bytes() / 1024:.1f} KiB on device")
 
-    # 3. BFS directly on the compressed graph.
-    result = bfs(engine, source=0)
-    print(f"GCGT BFS: reached {result.visited_count} nodes in "
-          f"{result.iterations} iterations, simulated cost {engine.cost():.0f}")
+    # 3. A batch of BFS queries over the resident graph.  The first query
+    # decodes the nodes it touches; later queries hit the plan cache.
+    results = service.submit([BFSQuery("uk", source) for source in (0, 1, 0)])
+    first, _, repeat = results
+    print(f"GCGT BFS: reached {first.value.visited_count} nodes in "
+          f"{first.value.iterations} iterations, "
+          f"simulated cost {first.metrics.cost:.0f}")
+    print(f"serving: {service.stats().encode_calls} encode call(s) for "
+          f"{len(results)} queries, repeat-query cache hit rate "
+          f"{repeat.metrics.cache_hit_rate:.0%}")
 
     # 4. The uncompressed GPU-CSR baseline for comparison.
     csr_engine = GPUCSREngine.from_graph(graph)
     csr_result = bfs(csr_engine, source=0)
     csr_bytes = CSRGraph.from_graph(graph).size_in_bytes()
-    assert csr_result.visited_count == result.visited_count
+    assert csr_result.visited_count == first.value.visited_count
     print(f"GPU-CSR BFS: same result, simulated cost {csr_engine.cost():.0f}, "
           f"{csr_bytes / 1024:.1f} KiB on device")
 
-    ratio = engine.cost() / csr_engine.cost()
-    saving = csr_bytes / engine.graph.size_in_bytes()
+    ratio = first.metrics.cost / csr_engine.cost()
+    saving = csr_bytes / entry.cgr.size_in_bytes()
     print(f"\nGCGT uses {saving:.1f}x less device memory at "
           f"{ratio:.2f}x the traversal cost of the uncompressed baseline.")
 

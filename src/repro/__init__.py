@@ -18,23 +18,35 @@ it depends on, in pure Python:
   on the expansion--filtering--contraction pipeline;
 * :mod:`repro.baselines` -- Naive/Ligra/Ligra+ CPU engines and
   GPU-CSR/Gunrock-like GPU engines;
+* :mod:`repro.service` -- the serving layer: a graph registry with
+  encode-once semantics, an LRU decoded-adjacency cache, and
+  :class:`TraversalService`, which answers batches of mixed BFS/CC/BC
+  queries over resident graphs;
 * :mod:`repro.bench` -- the harness regenerating every table and figure of
-  the paper's evaluation.
+  the paper's evaluation (its GCGT bars run through the service).
 
-Quick start::
+Quick start -- register a graph once, then serve any number of queries::
 
-    from repro import GCGTEngine, bfs, load_dataset
+    from repro import BFSQuery, CCQuery, TraversalService, load_dataset
 
-    graph = load_dataset("uk-2002", scale=2000)
-    engine = GCGTEngine.from_graph(graph)
-    result = bfs(engine, source=0)
-    print(engine.compression_rate, result.visited_count)
+    service = TraversalService()
+    entry = service.register_graph("uk", load_dataset("uk-2002", scale=2000))
+    results = service.submit([BFSQuery("uk", source=0), CCQuery("uk")])
+    print(entry.compression_rate, results[0].value.visited_count)
+    print(results[0].metrics.cache_hit_rate, service.stats().encode_calls)
+
+For a single ad-hoc traversal the engine surface is still there::
+
+    from repro import GCGTEngine, bfs
+
+    engine = GCGTEngine.from_graph(load_dataset("twitter", scale=1500))
+    print(bfs(engine, source=0).visited_count)
 """
 
 from repro.compression import CGRConfig, CGRGraph
 from repro.graph import CSRGraph, Graph, load_dataset
 from repro.gpu import GPUDevice
-from repro.traversal import GCGTConfig, GCGTEngine
+from repro.traversal import GCGTConfig, GCGTEngine, TraversalSession
 from repro.apps import bfs, betweenness_centrality, connected_components
 from repro.baselines import (
     GPUCSREngine,
@@ -43,8 +55,17 @@ from repro.baselines import (
     LigraPlusEngine,
     NaiveCPUEngine,
 )
+from repro.service import (
+    BCQuery,
+    BFSQuery,
+    CCQuery,
+    GraphRegistry,
+    QueryMetrics,
+    QueryResult,
+    TraversalService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CGRConfig",
@@ -55,6 +76,7 @@ __all__ = [
     "GPUDevice",
     "GCGTConfig",
     "GCGTEngine",
+    "TraversalSession",
     "bfs",
     "connected_components",
     "betweenness_centrality",
@@ -63,5 +85,12 @@ __all__ = [
     "LigraPlusEngine",
     "GPUCSREngine",
     "GunrockLikeEngine",
+    "BFSQuery",
+    "CCQuery",
+    "BCQuery",
+    "QueryMetrics",
+    "QueryResult",
+    "GraphRegistry",
+    "TraversalService",
     "__version__",
 ]

@@ -48,6 +48,17 @@ from repro.compression.vlc import VLCScheme, get_scheme
 #: used by the paper's "compression rate = 32 / bits-per-edge" definition.
 UNCOMPRESSED_BITS_PER_EDGE = 32
 
+#: Process-wide count of full-graph encode calls.  Encoding is the expensive
+#: host-side step a serving layer must amortize, so the counter lets tests
+#: (and :class:`repro.service.TraversalService` metrics) verify encode-once
+#: semantics: N queries over a registered graph must not move it.
+_encode_calls = 0
+
+
+def encode_call_count() -> int:
+    """How many times :meth:`CGRGraph.from_adjacency` ran in this process."""
+    return _encode_calls
+
 
 @dataclass(frozen=True)
 class CGRConfig:
@@ -149,7 +160,13 @@ class CGRGraph:
         adjacency: Sequence[Sequence[int]],
         config: CGRConfig | None = None,
     ) -> "CGRGraph":
-        """Encode a full graph given as a list of sorted adjacency lists."""
+        """Encode a full graph given as a list of sorted adjacency lists.
+
+        Duplicate neighbours are dropped and lists are sorted before encoding;
+        negative node ids cannot be represented and raise :class:`ValueError`.
+        """
+        global _encode_calls
+        _encode_calls += 1
         config = config or CGRConfig.paper_defaults()
         scheme = config.scheme
         writer = BitWriter()
@@ -158,6 +175,11 @@ class CGRGraph:
         for node, raw_neighbors in enumerate(adjacency):
             offsets[node] = writer.bit_length
             neighbors = sorted(set(raw_neighbors))
+            if neighbors and neighbors[0] < 0:
+                raise ValueError(
+                    f"node {node} has negative neighbour id {neighbors[0]}; "
+                    "CGR encodes non-negative node ids only"
+                )
             num_edges += len(neighbors)
             _encode_node(writer, scheme, config, node, neighbors)
         offsets[len(adjacency)] = writer.bit_length

@@ -99,6 +99,7 @@ class DeviceMemory:
         kernels charge for reading compressed adjacency data.
         """
         line_bits = self.cache_line_bytes * 8
+        word_bits = self.word_bytes * 8
         lines: set[int] = set()
         words = 0
         for start_bit, num_bits in bit_ranges:
@@ -106,8 +107,12 @@ class DeviceMemory:
                 continue
             first = start_bit // line_bits
             last = (start_bit + num_bits - 1) // line_bits
-            lines.update(range(first, last + 1))
-            words += max(1, (num_bits + self.word_bytes * 8 - 1) // (self.word_bytes * 8))
+            if first == last:
+                lines.add(first)
+            else:
+                lines.update(range(first, last + 1))
+            # num_bits >= 1, so the ceiling division is already >= 1.
+            words += (num_bits + word_bits - 1) // word_bits
         if not lines:
             return 0
         self.metrics.memory_words += words

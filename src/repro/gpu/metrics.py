@@ -64,13 +64,25 @@ class KernelMetrics:
 
     def record_round(self, active_lanes: int, total_lanes: int) -> None:
         """Account one lock-step round with ``active_lanes`` lanes doing work."""
+        self.record_rounds(active_lanes, total_lanes, 1)
+
+    def record_rounds(
+        self, active_lanes: int, total_lanes: int, rounds: int
+    ) -> None:
+        """Account ``rounds`` identical lock-step rounds in one update.
+
+        Bulk form of :meth:`record_round` for the hot decode loops, keeping
+        the per-round accounting in a single place.
+        """
         if active_lanes < 0 or active_lanes > total_lanes:
             raise ValueError(
                 f"active_lanes {active_lanes} outside [0, {total_lanes}]"
             )
-        self.instruction_rounds += 1
-        self.active_lane_slots += active_lanes
-        self.idle_lane_slots += total_lanes - active_lanes
+        if rounds <= 0:
+            return
+        self.instruction_rounds += rounds
+        self.active_lane_slots += active_lanes * rounds
+        self.idle_lane_slots += (total_lanes - active_lanes) * rounds
 
     def merge(self, other: "KernelMetrics") -> None:
         """Accumulate another metrics object into this one."""

@@ -44,6 +44,14 @@ class Warp:
         """Record one lock-step instruction round with ``active_lanes`` busy."""
         self.metrics.record_round(active_lanes, self.size)
 
+    def step_rounds(self, active_lanes: int, rounds: int) -> None:
+        """Record ``rounds`` identical lock-step rounds in one call.
+
+        Equivalent to calling :meth:`step` ``rounds`` times; the bulk form
+        keeps the hot decode loops out of per-round Python call overhead.
+        """
+        self.metrics.record_rounds(active_lanes, self.size, rounds)
+
     # -- vote primitives -----------------------------------------------------
 
     def any(self, flags: Sequence[bool]) -> bool:

@@ -38,13 +38,36 @@ class CSRGraph:
 
     @classmethod
     def from_adjacency(cls, adjacency: Sequence[Sequence[int]]) -> "CSRGraph":
-        """Build CSR arrays from adjacency lists."""
-        indptr = np.zeros(len(adjacency) + 1, dtype=np.int64)
+        """Build CSR arrays from sorted, in-range adjacency lists.
+
+        The input must already be in the canonical form :class:`Graph`
+        produces -- every list strictly increasing with ids in
+        ``[0, len(adjacency))``.  Anything else (negative ids, out-of-range
+        neighbours, unsorted or duplicated entries) would silently mis-encode
+        the column-index array, so it raises :class:`ValueError` instead.
+        """
+        num_nodes = len(adjacency)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         for node, neighbors in enumerate(adjacency):
             indptr[node + 1] = indptr[node] + len(neighbors)
         indices = np.zeros(int(indptr[-1]), dtype=np.int64)
         for node, neighbors in enumerate(adjacency):
-            indices[indptr[node]:indptr[node + 1]] = sorted(neighbors)
+            previous = -1
+            for neighbor in neighbors:
+                neighbor = int(neighbor)
+                if not 0 <= neighbor < num_nodes:
+                    raise ValueError(
+                        f"node {node} has neighbour {neighbor} outside "
+                        f"[0, {num_nodes})"
+                    )
+                if neighbor <= previous:
+                    raise ValueError(
+                        f"adjacency list of node {node} is not strictly "
+                        f"increasing at neighbour {neighbor}; sort and "
+                        "deduplicate it first (e.g. via Graph)"
+                    )
+                previous = neighbor
+            indices[indptr[node]:indptr[node + 1]] = neighbors
         return cls(indptr, indices)
 
     # -- accessors ----------------------------------------------------------

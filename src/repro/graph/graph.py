@@ -51,10 +51,19 @@ class Graph:
         self._adjacency: list[list[int]] = [
             sorted(set(int(v) for v in neighbors)) for neighbors in adjacency
         ]
+        num_nodes = len(self._adjacency)
         for node, neighbors in enumerate(self._adjacency):
-            if neighbors and (neighbors[0] < 0 or neighbors[-1] >= len(self._adjacency)):
+            if not neighbors:
+                continue
+            if neighbors[0] < 0:
                 raise ValueError(
-                    f"node {node} has a neighbour outside [0, {len(self._adjacency)})"
+                    f"node {node} has negative neighbour id {neighbors[0]}; "
+                    f"node ids must lie in [0, {num_nodes})"
+                )
+            if neighbors[-1] >= num_nodes:
+                raise ValueError(
+                    f"node {node} has neighbour {neighbors[-1]} outside "
+                    f"[0, {num_nodes})"
                 )
 
     # -- construction -------------------------------------------------------

@@ -1,0 +1,50 @@
+"""Serving layer: batched traversal queries over resident, encode-once graphs.
+
+The seed rebuilt a :class:`~repro.traversal.gcgt.GCGTEngine` -- re-encoding
+the whole CGR graph -- for every query.  This package amortizes that work
+across a query stream:
+
+* :mod:`repro.service.registry` -- named graphs encoded once (CGR + CSR side
+  by side), keyed by dataset name + encoding configuration;
+* :mod:`repro.service.cache` -- an LRU cache of decoded per-node adjacency
+  structure shared by every query on a graph;
+* :mod:`repro.service.queries` -- the ``BFSQuery``/``CCQuery``/``BCQuery``
+  request types and the ``QueryResult`` + metrics envelope;
+* :mod:`repro.service.service` -- :class:`TraversalService`, the unified
+  ``submit(queries) -> list[QueryResult]`` entry point.
+
+Quick start::
+
+    from repro import BFSQuery, CCQuery, TraversalService, load_dataset
+
+    service = TraversalService()
+    service.register_graph("uk", load_dataset("uk-2002", scale=2000))
+    results = service.submit([BFSQuery("uk", source=0), CCQuery("uk")])
+    print(results[0].value.visited_count, results[0].metrics.cache_hit_rate)
+"""
+
+from repro.service.cache import DecodedAdjacencyCache
+from repro.service.queries import (
+    BCQuery,
+    BFSQuery,
+    CCQuery,
+    Query,
+    QueryMetrics,
+    QueryResult,
+)
+from repro.service.registry import GraphRegistry, RegisteredGraph
+from repro.service.service import ServiceStats, TraversalService
+
+__all__ = [
+    "BCQuery",
+    "BFSQuery",
+    "CCQuery",
+    "DecodedAdjacencyCache",
+    "GraphRegistry",
+    "Query",
+    "QueryMetrics",
+    "QueryResult",
+    "RegisteredGraph",
+    "ServiceStats",
+    "TraversalService",
+]

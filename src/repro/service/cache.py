@@ -1,0 +1,111 @@
+"""LRU cache of decoded node adjacency structure.
+
+Decoding a node's compressed adjacency list -- walking its interval
+descriptors and locating every residual segment -- is pure function of the
+graph, yet the seed paid it on every query that touched the node.  The
+service keeps one :class:`DecodedAdjacencyCache` per registered graph and
+plugs it into the engine's :meth:`~repro.traversal.gcgt.GCGTEngine.node_plan`
+hook, so a hot node's structural decode is paid once per graph, not once per
+query.  The cache is a plain LRU with hit/miss/eviction counters that
+:class:`~repro.service.queries.QueryMetrics` surfaces per query.
+
+The *simulated* decode cost the strategies charge is unaffected: plans only
+describe where the bits are; every strategy still charges the warp for the
+decode rounds it would execute on hardware.  What the cache saves is real
+host-side Python time -- the quantity the serving benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.traversal.context import NodePlan
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Fraction of lookups served from a cache; 1.0 when there were none."""
+    total = hits + misses
+    if total == 0:
+        return 1.0
+    return hits / total
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Point-in-time counter values, used to attribute deltas to one query."""
+
+    hits: int
+    misses: int
+    evictions: int
+
+
+class DecodedAdjacencyCache:
+    """An LRU mapping node id -> decoded :class:`NodePlan`.
+
+    Satisfies the :class:`repro.traversal.gcgt.PlanCache` protocol.  Capacity
+    bounds the number of resident plans; a lookup of a cached node refreshes
+    its recency, and inserting into a full cache evicts the least recently
+    used entry.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[int, NodePlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- PlanCache protocol ---------------------------------------------------
+
+    def lookup(self, node: int, build: Callable[[], NodePlan]) -> NodePlan:
+        """The plan for ``node``, building and inserting it on a miss."""
+        plan = self._plans.get(node)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(node)
+            return plan
+        self.misses += 1
+        plan = build()
+        self._plans[node] = plan
+        if len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._plans
+
+    def cached_nodes(self) -> Iterator[int]:
+        """Resident node ids, least recently used first."""
+        return iter(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (1.0 when unused)."""
+        return hit_rate(self.hits, self.misses)
+
+    def snapshot(self) -> CacheSnapshot:
+        """Freeze the counters (for per-query delta attribution)."""
+        return CacheSnapshot(self.hits, self.misses, self.evictions)
+
+    def clear(self) -> None:
+        """Drop all resident plans; counters are kept."""
+        self._plans.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecodedAdjacencyCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )
+
+
+__all__ = ["CacheSnapshot", "DecodedAdjacencyCache", "hit_rate"]

@@ -1,0 +1,102 @@
+"""Query and result types of the traversal service.
+
+A query names a registered graph and carries the application-specific
+parameters; the service answers with a :class:`QueryResult` bundling the
+application's output (:class:`~repro.apps.bfs.BFSResult`,
+:class:`~repro.apps.cc.CCResult` or :class:`~repro.apps.bc.BCResult`) with
+per-query serving metrics: the simulated traversal cost and how much
+encode/decode work the query actually caused -- which is how tests verify
+that the registry and the decoded-plan cache amortize work across a batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.apps.bc import BCResult
+from repro.apps.bfs import BFSResult
+from repro.apps.cc import CCResult
+from repro.service.cache import hit_rate
+
+
+@dataclass(frozen=True)
+class BFSQuery:
+    """Breadth-first search from ``source`` on the graph named ``graph``."""
+
+    graph: str
+    source: int
+
+
+@dataclass(frozen=True)
+class CCQuery:
+    """Connected components of the graph named ``graph``.
+
+    The service runs CC on the undirected interpretation of the registered
+    graph (symmetrised once and kept resident), as the paper's evaluation
+    does.
+    """
+
+    graph: str
+    max_iterations: int = 64
+
+
+@dataclass(frozen=True)
+class BCQuery:
+    """Single-source betweenness centrality from ``source`` on ``graph``."""
+
+    graph: str
+    source: int
+
+
+#: Any query the service accepts in one :meth:`TraversalService.submit` batch.
+Query = Union[BFSQuery, CCQuery, BCQuery]
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """What serving one query cost, beyond the application's own output.
+
+    Attributes:
+        cost: simulated total-work cost of the traversal (same units as
+            :meth:`GCGTEngine.cost`).
+        elapsed_proxy: cost divided by the device's warp-level parallelism,
+            comparable with the benchmark figures' elapsed axis.
+        iterations: frontier iterations the application ran.
+        cache_hits: decoded-plan cache hits this query produced.
+        cache_misses: decoded-plan cache misses (nodes decoded afresh).
+        encode_calls: full-graph encode calls triggered while serving this
+            query; 0 whenever the graph was already resident (encode-once).
+    """
+
+    cost: float
+    elapsed_proxy: float
+    iterations: int
+    cache_hits: int
+    cache_misses: int
+    encode_calls: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of plan lookups served from the cache (1.0 when no lookups)."""
+        return hit_rate(self.cache_hits, self.cache_misses)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: the application result plus serving metrics."""
+
+    query: Query
+    kind: str  # "bfs" | "cc" | "bc"
+    value: Union[BFSResult, CCResult, BCResult]
+    metrics: QueryMetrics
+
+
+__all__ = [
+    "BFSQuery",
+    "CCQuery",
+    "BCQuery",
+    "Query",
+    "QueryMetrics",
+    "QueryResult",
+]

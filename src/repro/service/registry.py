@@ -1,0 +1,181 @@
+"""The graph registry: named graphs encoded once, CGR + CSR side by side.
+
+Registering a graph pays the expensive host-side work exactly once: the CGR
+encode (the representation GCGT traverses), the CSR build (the uncompressed
+side-by-side form baselines and exact-answer paths read), and the engine
+construction that loads the CGR into simulated device memory.  Entries are
+keyed by ``(name, GCGTConfig)`` -- the full engine configuration, not just
+the encoding part, so two ladder rungs that share an encoding but schedule
+differently get their own engines -- and the same (name, config) pair is
+never encoded twice.
+
+Connected components runs on the undirected interpretation of a graph, so the
+registry also keeps a lazily-built undirected sibling per entry, again encoded
+at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.cgr import CGRGraph
+from repro.gpu.device import GPUDevice
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.traversal.gcgt import GCGTConfig, GCGTEngine
+
+from repro.service.cache import DecodedAdjacencyCache
+
+#: Registry key: graph name plus the full engine configuration.
+RegistryKey = tuple[str, GCGTConfig]
+
+
+@dataclass
+class RegisteredGraph:
+    """One resident graph: raw container, both encodings, engine and cache."""
+
+    name: str
+    graph: Graph
+    config: GCGTConfig
+    cgr: CGRGraph
+    csr: CSRGraph
+    engine: GCGTEngine
+    plan_cache: DecodedAdjacencyCache
+    #: The symmetrised sibling used by CC queries, built on first use.
+    undirected: "RegisteredGraph | None" = field(default=None, repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def compression_rate(self) -> float:
+        return self.cgr.compression_rate
+
+
+class GraphRegistry:
+    """Named graphs resident in (simulated) device memory, encoded once."""
+
+    def __init__(
+        self,
+        device: GPUDevice | None = None,
+        default_config: GCGTConfig | None = None,
+        cache_capacity: int = 4096,
+    ) -> None:
+        self.device = device or GPUDevice()
+        self.default_config = default_config or GCGTConfig()
+        self.cache_capacity = cache_capacity
+        self._entries: dict[RegistryKey, RegisteredGraph] = {}
+        #: Total CGR encode calls this registry performed (directed and
+        #: undirected variants); flat across repeated registrations/queries.
+        self.encode_calls = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        graph: Graph,
+        config: GCGTConfig | None = None,
+    ) -> RegisteredGraph:
+        """Make ``graph`` resident under ``name``; a no-op when already there.
+
+        Re-registering the same ``(name, config)`` returns the existing entry
+        without re-encoding, even if a different :class:`Graph` instance is
+        passed -- the registry is the source of truth for resident graphs.
+        """
+        config = config or self.default_config
+        key = (name, config)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._encode(name, graph, config)
+            self._entries[key] = entry
+        return entry
+
+    def _encode(self, name: str, graph: Graph, config: GCGTConfig) -> RegisteredGraph:
+        """Pay the one-time encode + residency cost for one graph."""
+        cgr = CGRGraph.from_adjacency(graph.adjacency(), config.effective_cgr_config())
+        csr = CSRGraph.from_graph(graph)
+        plan_cache = DecodedAdjacencyCache(self.cache_capacity)
+        engine = GCGTEngine(
+            cgr, device=self.device, config=config, plan_cache=plan_cache
+        )
+        self.encode_calls += 1
+        return RegisteredGraph(
+            name=name,
+            graph=graph,
+            config=config,
+            cgr=cgr,
+            csr=csr,
+            engine=engine,
+            plan_cache=plan_cache,
+        )
+
+    # -- lookup ---------------------------------------------------------------
+
+    def resolve(self, name: str, config: GCGTConfig | None = None) -> RegisteredGraph:
+        """The resident entry serving queries against ``name``.
+
+        An exact ``(name, config)`` match wins (``config`` defaulting to the
+        registry default); otherwise a graph registered under exactly one
+        configuration resolves by name alone, so registering with a custom
+        config and then querying it just works.  Several configurations with
+        no exact match is ambiguous and raises :class:`KeyError`.
+        """
+        exact = self._entries.get((name, config or self.default_config))
+        if exact is not None:
+            return exact
+        matches = [
+            entry for (entry_name, _), entry in self._entries.items()
+            if entry_name == name
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if matches:
+            raise KeyError(
+                f"graph {name!r} is registered under {len(matches)} "
+                "configurations and none matches the requested one; "
+                "pass the configuration explicitly"
+            )
+        known = ", ".join(self.names()) or "<none>"
+        raise KeyError(
+            f"graph {name!r} is not registered; registered names: {known}"
+        )
+
+    def undirected_variant(self, entry: RegisteredGraph) -> RegisteredGraph:
+        """The symmetrised sibling of ``entry``, encoded on first use only."""
+        if entry.undirected is None:
+            entry.undirected = self._encode(
+                f"{entry.name}#undirected",
+                entry.graph.to_undirected(),
+                entry.config,
+            )
+        return entry.undirected
+
+    # -- introspection --------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered graph names (without their configuration keys), sorted."""
+        return sorted({name for name, _ in self._entries})
+
+    def entries(self) -> list[RegisteredGraph]:
+        """Every resident entry, including lazily-built undirected siblings."""
+        result = []
+        for entry in self._entries.values():
+            result.append(entry)
+            if entry.undirected is not None:
+                result.append(entry.undirected)
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return any(entry_name == name for entry_name, _ in self._entries)
+
+
+__all__ = ["GraphRegistry", "RegisteredGraph", "RegistryKey"]

@@ -1,0 +1,148 @@
+"""The batched traversal service.
+
+:class:`TraversalService` is the serving layer the ROADMAP's
+heavy-query-traffic north star asks for: graphs are registered once (paying
+encode + device residency once, see :mod:`repro.service.registry`), then any
+number of mixed BFS/CC/BC queries are answered from the resident state.  Each
+query runs on a fresh :class:`~repro.traversal.gcgt.TraversalSession`, so
+queries never leak traversal state into each other while sharing the encoded
+graph and the decoded-plan LRU cache.
+
+``submit`` takes a heterogeneous batch and returns one
+:class:`~repro.service.queries.QueryResult` per query, in order.  Per-query
+metrics attribute exactly the encode and cache work that query caused, which
+is what the differential and cache-behaviour test suites assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.bc import betweenness_centrality
+from repro.apps.bfs import bfs
+from repro.apps.cc import connected_components
+from repro.gpu.device import GPUDevice
+from repro.graph.graph import Graph
+from repro.traversal.gcgt import GCGTConfig
+
+from repro.service.cache import hit_rate
+from repro.service.queries import (
+    BCQuery,
+    BFSQuery,
+    CCQuery,
+    Query,
+    QueryMetrics,
+    QueryResult,
+)
+from repro.service.registry import GraphRegistry, RegisteredGraph
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate serving statistics across the life of the service."""
+
+    graphs_resident: int
+    encode_calls: int
+    queries_served: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return hit_rate(self.cache_hits, self.cache_misses)
+
+
+class TraversalService:
+    """Serve batches of graph-traversal queries over registered graphs."""
+
+    def __init__(
+        self,
+        device: GPUDevice | None = None,
+        config: GCGTConfig | None = None,
+        cache_capacity: int = 4096,
+    ) -> None:
+        self.device = device or GPUDevice()
+        self.config = config or GCGTConfig()
+        self.registry = GraphRegistry(
+            device=self.device,
+            default_config=self.config,
+            cache_capacity=cache_capacity,
+        )
+        self.queries_served = 0
+
+    # -- graph management -----------------------------------------------------
+
+    def register_graph(
+        self,
+        name: str,
+        graph: Graph,
+        config: GCGTConfig | None = None,
+    ) -> RegisteredGraph:
+        """Encode ``graph`` once and keep it resident under ``name``."""
+        return self.registry.register(name, graph, config)
+
+    # -- serving --------------------------------------------------------------
+
+    def submit(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Answer a batch of mixed queries, one result per query, in order.
+
+        Every query must name a registered graph (:class:`KeyError`
+        otherwise); CC queries run on the graph's lazily-encoded undirected
+        sibling.  Queries are independent: each runs on its own traversal
+        session over the shared resident graph.
+        """
+        return [self._serve(query) for query in queries]
+
+    def _serve(self, query: Query) -> QueryResult:
+        entry = self.registry.resolve(query.graph)
+        encode_before = self.registry.encode_calls
+        if isinstance(query, CCQuery):
+            entry = self.registry.undirected_variant(entry)
+
+        cache = entry.plan_cache
+        cache_before = cache.snapshot()
+        session = entry.engine.new_session()
+
+        if isinstance(query, BFSQuery):
+            kind, value = "bfs", bfs(session, query.source)
+            iterations = value.iterations
+        elif isinstance(query, CCQuery):
+            kind, value = "cc", connected_components(
+                session, max_iterations=query.max_iterations
+            )
+            iterations = value.iterations
+        elif isinstance(query, BCQuery):
+            kind, value = "bc", betweenness_centrality(session, query.source)
+            iterations = value.iterations
+        else:
+            raise TypeError(f"unsupported query type {type(query).__name__}")
+
+        self.queries_served += 1
+        metrics = QueryMetrics(
+            cost=session.cost(),
+            elapsed_proxy=self.device.elapsed_proxy(session.metrics),
+            iterations=iterations,
+            cache_hits=cache.hits - cache_before.hits,
+            cache_misses=cache.misses - cache_before.misses,
+            encode_calls=self.registry.encode_calls - encode_before,
+        )
+        return QueryResult(query=query, kind=kind, value=value, metrics=metrics)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Aggregate registry + cache statistics for monitoring."""
+        entries = self.registry.entries()
+        return ServiceStats(
+            graphs_resident=len(entries),
+            encode_calls=self.registry.encode_calls,
+            queries_served=self.queries_served,
+            cache_hits=sum(e.plan_cache.hits for e in entries),
+            cache_misses=sum(e.plan_cache.misses for e in entries),
+            cache_evictions=sum(e.plan_cache.evictions for e in entries),
+        )
+
+
+__all__ = ["ServiceStats", "TraversalService"]

@@ -23,7 +23,12 @@ from repro.traversal.two_phase import TwoPhaseStrategy
 from repro.traversal.task_stealing import TaskStealingStrategy
 from repro.traversal.warp_decode import parallel_vlc_decode, WarpCentricStrategy
 from repro.traversal.segmented import ResidualSegmentationStrategy
-from repro.traversal.gcgt import GCGTConfig, GCGTEngine, STRATEGY_LADDER
+from repro.traversal.gcgt import (
+    GCGTConfig,
+    GCGTEngine,
+    STRATEGY_LADDER,
+    TraversalSession,
+)
 
 __all__ = [
     "FrontierQueue",
@@ -37,5 +42,6 @@ __all__ = [
     "ResidualSegmentationStrategy",
     "GCGTConfig",
     "GCGTEngine",
+    "TraversalSession",
     "STRATEGY_LADDER",
 ]

@@ -51,6 +51,12 @@ class ResidualSegmentPlan:
     #: Bits occupied by the segment's count field (``resNum``), 0 when the
     #: layout stores the count elsewhere (unsegmented graphs).
     count_bits: int = 0
+    #: Pre-decoded residuals as ``(neighbor, bit_start, bit_length)`` tuples.
+    #: :func:`build_node_plan` fills this so lanes *replay* the decode -- the
+    #: strategies still charge every decode round for exactly these bit
+    #: ranges, but the host-side bit walking is paid once per plan, which is
+    #: once per graph when the plan sits in a decoded-adjacency cache.
+    decoded: tuple[tuple[int, int, int], ...] = ()
 
 
 @dataclass
@@ -96,7 +102,11 @@ def build_node_plan(graph: CGRGraph, node: int) -> NodePlan:
         plan.header_bits = cursor.position - start
         remaining = degree - plan.interval_coverage
         plan.residual_segments.append(
-            ResidualSegmentPlan(data_start_bit=cursor.position, count=remaining)
+            ResidualSegmentPlan(
+                data_start_bit=cursor.position,
+                count=remaining,
+                decoded=_predecode_residual_run(cursor, node, remaining),
+            )
         )
         return plan
 
@@ -113,10 +123,32 @@ def build_node_plan(graph: CGRGraph, node: int) -> NodePlan:
                 data_start_bit=seg_cursor.position,
                 count=count,
                 count_bits=count_bits,
+                decoded=_predecode_residual_run(seg_cursor, node, count),
             )
         )
     plan.degree = plan.interval_coverage + plan.residual_count
     return plan
+
+
+def _predecode_residual_run(
+    cursor: CGRCursor, source: int, count: int
+) -> tuple[tuple[int, int, int], ...]:
+    """Walk ``count`` residual gaps once, recording value and bit extent.
+
+    ``cursor`` must sit on the first gap; it is advanced past the run (which
+    is harmless for every caller -- nothing of the node's layout follows a
+    residual run in its segment).
+    """
+    decoded: list[tuple[int, int, int]] = []
+    previous: int | None = None
+    for _ in range(count):
+        start = cursor.position
+        if previous is None:
+            previous, bits = cursor.decode_signed_gap(source)
+        else:
+            previous, bits = cursor.decode_following_gap(previous)
+        decoded.append((previous, start, bits))
+    return tuple(decoded)
 
 
 def _decode_interval_descriptors(
@@ -141,6 +173,13 @@ def _decode_interval_descriptors(
         previous_end = start + length - 1
 
 
+#: Pluggable structural-decode source: ``plan_source(node) -> NodePlan``.
+#: Engines that keep decoded plans resident (see
+#: :class:`repro.service.cache.DecodedAdjacencyCache`) supply one so hot nodes are
+#: decoded once per graph instead of once per query.
+PlanSource = Callable[[int], NodePlan]
+
+
 class ExpandContext:
     """Per-iteration state handed to an expansion strategy."""
 
@@ -150,11 +189,19 @@ class ExpandContext:
         warp: Warp,
         filter_fn: FilterFn,
         out_queue: FrontierQueue,
+        plan_source: PlanSource | None = None,
     ) -> None:
         self.graph = graph
         self.warp = warp
         self.filter_fn = filter_fn
         self.out_queue = out_queue
+        self._plan_source = plan_source
+
+    def node_plan(self, node: int) -> NodePlan:
+        """The structural decode of ``node``, via the plan source when set."""
+        if self._plan_source is not None:
+            return self._plan_source(node)
+        return build_node_plan(self.graph, node)
 
     # -- cost-accounted building blocks ---------------------------------------
 
@@ -182,8 +229,7 @@ class ExpandContext:
             return
         longest = max(num_bits for _, num_bits in active)
         rounds = max(1, -(-longest // DECODE_BITS_PER_ROUND))
-        for _ in range(rounds):
-            self.warp.step(active_lanes=len(active))
+        self.warp.step_rounds(len(active), rounds)
         self.warp.memory.access_bit_ranges(active)
 
     def handle_step(self, pairs: Sequence[tuple[int, int] | None]) -> int:

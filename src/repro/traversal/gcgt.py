@@ -15,14 +15,14 @@ Figure 9 sweeps (Intuitive -> +TwoPhase -> +TaskStealing -> +Warp-centric ->
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.compression.cgr import CGRConfig, CGRGraph
 from repro.gpu.device import GPUDevice
 from repro.gpu.metrics import KernelMetrics
 from repro.graph.graph import Graph
 from repro.traversal.bfs_basic import IntuitiveStrategy
-from repro.traversal.context import ExpandContext, FilterFn
+from repro.traversal.context import ExpandContext, FilterFn, NodePlan, build_node_plan
 from repro.traversal.frontier import FrontierQueue
 from repro.traversal.segmented import ResidualSegmentationStrategy
 from repro.traversal.strategy import ExpansionStrategy
@@ -96,21 +96,104 @@ STRATEGY_LADDER: dict[str, GCGTConfig] = {
 }
 
 
+class PlanCache(Protocol):
+    """What an engine needs from a decoded-plan cache (see
+    :class:`repro.service.cache.DecodedAdjacencyCache` for the LRU implementation)."""
+
+    def lookup(self, node: int, build: Callable[[], NodePlan]) -> NodePlan:
+        """Return the cached plan for ``node``, building it on a miss."""
+        ...  # pragma: no cover - protocol
+
+
+class TraversalSession:
+    """Per-query traversal state drawn from a resident :class:`GCGTEngine`.
+
+    The engine owns everything shareable and expensive -- the encoded CGR
+    graph, the device, the scheduling strategy and the decoded-plan cache.  A
+    session owns only what is private to one query: its accumulated
+    :class:`KernelMetrics`.  Many sessions can run over one engine, which is
+    what lets a serving layer (:class:`repro.service.TraversalService`) pay
+    the encode cost once per graph instead of once per query.
+    """
+
+    def __init__(self, engine: "GCGTEngine") -> None:
+        self.engine = engine
+        self.metrics = KernelMetrics()
+
+    # -- graph facts (delegated so apps can run on a session directly) --------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.engine.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.engine.graph.num_edges
+
+    @property
+    def compression_rate(self) -> float:
+        return self.engine.graph.compression_rate
+
+    # -- traversal -------------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        """Clear accumulated counters before a fresh measurement run."""
+        self.metrics = KernelMetrics()
+
+    def expand(self, frontier: Sequence[int], filter_fn: FilterFn) -> list[int]:
+        """Run one expansion--filtering--contraction iteration.
+
+        ``frontier`` holds the current iteration's nodes; ``filter_fn`` is the
+        application's filtering callback.  Returns the next frontier (the
+        contraction output) and accumulates cost counters in :attr:`metrics`.
+        """
+        engine = self.engine
+        iteration_metrics = engine.device.new_metrics()
+        warp = engine.device.new_warp(iteration_metrics)
+        out_queue = FrontierQueue()
+        ctx = ExpandContext(
+            engine.graph, warp, filter_fn, out_queue,
+            plan_source=engine.node_plan,
+        )
+        for begin in range(0, len(frontier), engine.device.warp_size):
+            chunk = list(frontier[begin:begin + engine.device.warp_size])
+            engine.strategy.expand_chunk(ctx, chunk)
+        iteration_metrics.launches += 1
+        self.metrics.merge(iteration_metrics)
+        return out_queue.pending
+
+    def cost(self) -> float:
+        """Scalar elapsed-time proxy of all work since the last reset."""
+        return self.engine.device.cost(self.metrics)
+
+
 class GCGTEngine:
-    """Traversal engine over a CGR graph on a simulated GPU device."""
+    """Traversal engine over a CGR graph resident on a simulated GPU device.
+
+    The engine models one-time graph residency: encode once, load into device
+    memory once, then serve any number of traversals.  Per-query state lives
+    in :class:`TraversalSession` objects handed out by :meth:`new_session`;
+    for the common single-query use the engine keeps a default session and
+    exposes its ``expand``/``metrics``/``cost`` surface directly, so
+    ``bfs(engine, source)`` works exactly as before.
+    """
 
     def __init__(
         self,
         cgr_graph: CGRGraph,
         device: GPUDevice | None = None,
         config: GCGTConfig | None = None,
+        plan_cache: "PlanCache | None" = None,
     ) -> None:
         self.config = config or GCGTConfig()
         self.device = device or GPUDevice()
         self.graph = cgr_graph
         self.strategy = self.config.build_strategy()
         self.device.check_fits(self.graph.size_in_bytes(), what="CGR graph")
-        self.metrics = KernelMetrics()
+        #: Optional LRU cache of decoded :class:`NodePlan` objects shared by
+        #: every session on this engine (duck-typed: ``lookup(node, build)``).
+        self.plan_cache = plan_cache
+        self._default_session = TraversalSession(self)
 
     # -- construction ------------------------------------------------------------
 
@@ -120,11 +203,12 @@ class GCGTEngine:
         graph: Graph,
         config: GCGTConfig | None = None,
         device: GPUDevice | None = None,
+        plan_cache: "PlanCache | None" = None,
     ) -> "GCGTEngine":
         """Compress ``graph`` on the host and load the CGR into device memory."""
         config = config or GCGTConfig()
         cgr = CGRGraph.from_adjacency(graph.adjacency(), config.effective_cgr_config())
-        return cls(cgr, device=device, config=config)
+        return cls(cgr, device=device, config=config, plan_cache=plan_cache)
 
     # -- basic graph facts ---------------------------------------------------------
 
@@ -140,30 +224,36 @@ class GCGTEngine:
     def compression_rate(self) -> float:
         return self.graph.compression_rate
 
-    # -- traversal ------------------------------------------------------------------
+    # -- sessions -------------------------------------------------------------------
+
+    def new_session(self) -> TraversalSession:
+        """A fresh per-query traversal session over the resident graph."""
+        return TraversalSession(self)
+
+    def node_plan(self, node: int) -> NodePlan:
+        """Structural decode of ``node``, served from the plan cache if present."""
+        if self.plan_cache is not None:
+            return self.plan_cache.lookup(
+                node, lambda: build_node_plan(self.graph, node)
+            )
+        return build_node_plan(self.graph, node)
+
+    # -- traversal (default-session surface, kept for single-query callers) --------
+
+    @property
+    def metrics(self) -> KernelMetrics:
+        """Counters of the default session (single-query compatibility surface)."""
+        return self._default_session.metrics
 
     def reset_metrics(self) -> None:
-        """Clear accumulated counters before a fresh measurement run."""
-        self.metrics = KernelMetrics()
+        """Clear the default session's counters before a fresh measurement run."""
+        self._default_session.reset_metrics()
 
     def expand(self, frontier: Sequence[int], filter_fn: FilterFn) -> list[int]:
-        """Run one expansion--filtering--contraction iteration.
-
-        ``frontier`` holds the current iteration's nodes; ``filter_fn`` is the
-        application's filtering callback.  Returns the next frontier (the
-        contraction output) and accumulates cost counters in :attr:`metrics`.
-        """
-        iteration_metrics = self.device.new_metrics()
-        warp = self.device.new_warp(iteration_metrics)
-        out_queue = FrontierQueue()
-        ctx = ExpandContext(self.graph, warp, filter_fn, out_queue)
-        for begin in range(0, len(frontier), self.device.warp_size):
-            chunk = list(frontier[begin:begin + self.device.warp_size])
-            self.strategy.expand_chunk(ctx, chunk)
-        iteration_metrics.launches += 1
-        self.metrics.merge(iteration_metrics)
-        return out_queue.pending
+        """One expansion iteration on the default session (see
+        :meth:`TraversalSession.expand`)."""
+        return self._default_session.expand(frontier, filter_fn)
 
     def cost(self) -> float:
-        """Scalar elapsed-time proxy of all work since the last reset."""
-        return self.device.cost(self.metrics)
+        """Scalar elapsed-time proxy of the default session's work."""
+        return self._default_session.cost()

@@ -46,17 +46,6 @@ class ResidualSegmentationStrategy(WarpCentricStrategy):
         wave: Sequence[tuple[int, ResidualSegmentPlan]],
     ) -> None:
         """One wave: each lane decodes one segment; handling is cooperative."""
-        states = [
-            LaneResidualState(
-                source=source,
-                cursor=CGRCursor(
-                    reader=ctx.graph.reader_at(source).fork(segment.data_start_bit),
-                    scheme=ctx.graph.config.scheme,
-                ),
-                segments=[segment],
-            )
-            for source, segment in wave
-        ]
         # Reading each segment's ``resNum`` header is one extra coalesced-ish
         # access per lane; charge it as a single decode round over the wave.
         ctx.decode_step(
@@ -66,15 +55,45 @@ class ResidualSegmentationStrategy(WarpCentricStrategy):
             ])
         )
 
+        # Each lane's full residual stream as ``(neighbor, start, bits)``
+        # tuples.  Pre-decoded segments replay straight from the plan; the
+        # cursor fallback performs the identical walk, so the charged rounds
+        # below do not depend on which path produced the values.
+        lanes: list[tuple[int, Sequence[tuple[int, int, int]]]] = []
+        rounds = 0
+        for source, segment in wave:
+            if segment.decoded:
+                items: Sequence[tuple[int, int, int]] = segment.decoded
+            else:
+                state = LaneResidualState(
+                    source=source,
+                    cursor=CGRCursor(
+                        reader=ctx.graph.reader_at(source).fork(segment.data_start_bit),
+                        scheme=ctx.graph.config.scheme,
+                    ),
+                    segments=[segment],
+                )
+                walked: list[tuple[int, int, int]] = []
+                while state.remaining > 0:
+                    neighbor, (start, bits) = state.decode_next()
+                    walked.append((neighbor, start, bits))
+                items = walked
+            lanes.append((source, items))
+            rounds = max(rounds, len(items))
+
+        # One lock-step decode round per residual index: lane i contributes
+        # its i-th residual, exhausted lanes sit divergence-idle.
         staged: list[tuple[int, int]] = []
-        while any(state.remaining > 0 for state in states):
+        for index in range(rounds):
             ranges: list[tuple[int, int] | None] = [None] * ctx.warp.size
-            for lane, state in enumerate(states):
-                if state.remaining > 0:
-                    neighbor, bit_range = state.decode_next()
-                    ranges[lane] = bit_range
-                    staged.append((state.source, neighbor))
-                    ctx.warp.memory.shared_access(1)
+            active = 0
+            for lane, (source, items) in enumerate(lanes):
+                if index < len(items):
+                    neighbor, start, bits = items[index]
+                    ranges[lane] = (start, bits)
+                    staged.append((source, neighbor))
+                    active += 1
+            ctx.warp.memory.shared_access(active)
             ctx.decode_step(ranges)
 
         for begin in range(0, len(staged), ctx.warp.size):

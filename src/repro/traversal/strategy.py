@@ -10,7 +10,6 @@ from repro.traversal.context import (
     ExpandContext,
     NodePlan,
     ResidualSegmentPlan,
-    build_node_plan,
 )
 from repro.traversal.cursor import CGRCursor
 
@@ -36,9 +35,15 @@ class ExpansionStrategy(ABC):
     # -- helpers shared by the concrete strategies -----------------------------
 
     def load_plans(self, ctx: ExpandContext, chunk: Sequence[int]) -> list[NodePlan]:
-        """Charge the frontier load and build one :class:`NodePlan` per lane."""
+        """Charge the frontier load and build one :class:`NodePlan` per lane.
+
+        Plans come through :meth:`ExpandContext.node_plan` so a resident
+        engine can serve them from its decoded-plan cache; the simulated cost
+        accounting is unchanged either way (plans are structural only -- the
+        strategies still charge every decode round explicitly).
+        """
         ctx.frontier_load_step(chunk)
-        return [build_node_plan(ctx.graph, node) for node in chunk]
+        return [ctx.node_plan(node) for node in chunk]
 
 
 @dataclass
@@ -59,6 +64,11 @@ class LaneResidualState:
     decoded_in_segment: int = 0
     previous: int | None = None
 
+    def __post_init__(self) -> None:
+        # Maintained counter: the inner scheduling loops poll ``remaining``
+        # once per lane per lock-step round, so it must be O(1).
+        self._remaining = sum(segment.count for segment in self.segments)
+
     @classmethod
     def from_plan(cls, ctx: ExpandContext, plan: NodePlan) -> "LaneResidualState":
         state = cls(
@@ -74,28 +84,37 @@ class LaneResidualState:
         self.previous = None
         if self.segment_index < len(self.segments):
             segment = self.segments[self.segment_index]
-            self.cursor = self.cursor.fork_at(segment.data_start_bit)
+            if not segment.decoded:
+                self.cursor = self.cursor.fork_at(segment.data_start_bit)
 
     @property
     def remaining(self) -> int:
         """Residuals left to decode across all remaining segments."""
-        total = 0
-        for index in range(self.segment_index, len(self.segments)):
-            total += self.segments[index].count
-        return total - self.decoded_in_segment
+        return self._remaining
 
     def decode_next(self) -> tuple[int, tuple[int, int]]:
-        """Decode the next residual; return ``(neighbor, bit_range)``."""
+        """Decode the next residual; return ``(neighbor, bit_range)``.
+
+        Segments whose plan carries pre-decoded residuals are *replayed* --
+        the returned neighbour and bit range are identical to a live cursor
+        decode (so the charged decode rounds do not change), without walking
+        the bit stream again.
+        """
         if self.remaining <= 0:
             raise RuntimeError("no residuals remain for this lane")
-        start = self.cursor.position
-        if self.previous is None:
-            neighbor, bits = self.cursor.decode_signed_gap(self.source)
+        segment = self.segments[self.segment_index]
+        if segment.decoded:
+            neighbor, start, bits = segment.decoded[self.decoded_in_segment]
         else:
-            neighbor, bits = self.cursor.decode_following_gap(self.previous)
+            start = self.cursor.position
+            if self.previous is None:
+                neighbor, bits = self.cursor.decode_signed_gap(self.source)
+            else:
+                neighbor, bits = self.cursor.decode_following_gap(self.previous)
         self.previous = neighbor
         self.decoded_in_segment += 1
-        if self.decoded_in_segment >= self.segments[self.segment_index].count:
+        self._remaining -= 1
+        if self.decoded_in_segment >= segment.count:
             self.segment_index += 1
             self._enter_segment()
         return neighbor, (start, bits)

@@ -1,0 +1,168 @@
+"""Property/fuzz round-trip tests for the whole compression stack.
+
+Two generators drive the stack: hypothesis-built adjacency structures and a
+seeded-numpy fuzzer producing graph shapes hypothesis rarely finds (long
+sorted runs, max-degree hubs).  Every VLC scheme in the registry is exercised
+both at the code level (value -> bits -> value) and end to end
+(``CGRGraph.from_adjacency`` -> ``neighbors()``), segmented and unsegmented,
+plus the explicit edge cases of the encoder's per-node layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.cgr import CGRConfig, CGRGraph
+from repro.compression.vlc import VLC_SCHEMES, get_scheme
+
+ALL_SCHEMES = sorted(VLC_SCHEMES)
+
+#: Segmented (paper default 256-bit) and unsegmented residual layouts.
+SEGMENT_LAYOUTS = (256, None)
+
+
+def _round_trip(adjacency, scheme, segment_bits):
+    config = CGRConfig(
+        vlc_scheme=scheme,
+        residual_segment_bits=segment_bits,
+    )
+    cgr = CGRGraph.from_adjacency(adjacency, config)
+    assert cgr.num_nodes == len(adjacency)
+    for node, neighbors in enumerate(adjacency):
+        assert cgr.neighbors(node) == list(neighbors), (
+            f"node {node} mismatched under {scheme}/segment={segment_bits}"
+        )
+    assert cgr.num_edges == sum(len(n) for n in adjacency)
+
+
+# ---------------------------------------------------------------------------
+# VLC code level
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=1 << 24), min_size=1, max_size=40),
+    st.sampled_from(ALL_SCHEMES),
+)
+def test_property_vlc_value_stream_round_trip(values, scheme_name):
+    """Any positive value stream survives encode -> concatenated bits -> decode."""
+    scheme = get_scheme(scheme_name)
+    writer = BitWriter()
+    for value in values:
+        scheme.encode(writer, value)
+    reader = BitReader(writer.to_bitlist())
+    assert [scheme.decode(reader) for _ in values] == values
+
+
+# ---------------------------------------------------------------------------
+# Full-graph round trip, hypothesis-generated
+# ---------------------------------------------------------------------------
+
+def sorted_adjacency_strategy(max_nodes=24, max_degree=12):
+    """Graphs as duplicate-free sorted adjacency lists (CGR's input contract)."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                max_size=max_degree,
+            ).map(lambda xs: sorted(set(xs))),
+            min_size=n,
+            max_size=n,
+        )
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sorted_adjacency_strategy(),
+    st.sampled_from(ALL_SCHEMES),
+    st.sampled_from(SEGMENT_LAYOUTS),
+)
+def test_property_every_scheme_round_trips_random_graphs(
+    adjacency, scheme_name, segment_bits
+):
+    _round_trip(adjacency, scheme_name, segment_bits)
+
+
+# ---------------------------------------------------------------------------
+# Seeded-RNG fuzz: shapes hypothesis rarely builds
+# ---------------------------------------------------------------------------
+
+def _fuzz_adjacency(rng: np.random.Generator, num_nodes: int) -> list[list[int]]:
+    """A random graph mixing sorted runs, scattered residuals and hubs."""
+    adjacency: list[list[int]] = []
+    for node in range(num_nodes):
+        neighbors: set[int] = set()
+        # Sorted consecutive runs (interval-heavy, incl. runs through `node`).
+        for _ in range(int(rng.integers(0, 3))):
+            start = int(rng.integers(0, num_nodes))
+            length = int(rng.integers(1, 12))
+            neighbors.update(range(start, min(num_nodes, start + length)))
+        # Scattered residuals.
+        neighbors.update(
+            int(v) for v in rng.integers(0, num_nodes, size=int(rng.integers(0, 8)))
+        )
+        adjacency.append(sorted(neighbors))
+    # A few max-degree hubs: connected to every node (including themselves --
+    # the encoder must cope with a neighbour id equal to the source).
+    for hub in rng.choice(num_nodes, size=min(2, num_nodes), replace=False):
+        adjacency[int(hub)] = list(range(num_nodes))
+    return adjacency
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+@pytest.mark.parametrize("segment_bits", SEGMENT_LAYOUTS)
+def test_fuzz_round_trip_seeded_rng(scheme, segment_bits):
+    for seed in (0, 1, 2):
+        rng = np.random.default_rng(seed)
+        num_nodes = int(rng.integers(1, 80))
+        _round_trip(_fuzz_adjacency(rng, num_nodes), scheme, segment_bits)
+
+
+# ---------------------------------------------------------------------------
+# Explicit edge cases of the per-node layout
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("segment_bits", SEGMENT_LAYOUTS)
+class TestLayoutEdgeCases:
+    def test_empty_adjacency(self, segment_bits):
+        _round_trip([], "zeta3", segment_bits)
+
+    def test_single_node_no_edges(self, segment_bits):
+        _round_trip([[]], "zeta3", segment_bits)
+
+    def test_single_node_self_loop(self, segment_bits):
+        _round_trip([[0]], "zeta3", segment_bits)
+
+    def test_all_empty_lists(self, segment_bits):
+        _round_trip([[] for _ in range(10)], "zeta3", segment_bits)
+
+    def test_pure_sorted_run_becomes_intervals(self, segment_bits):
+        # One duplicate-free sorted run per node: all intervals, no residuals.
+        adjacency = [list(range(1, 17)) for _ in range(17)]
+        config = CGRConfig(vlc_scheme="zeta3", residual_segment_bits=segment_bits)
+        cgr = CGRGraph.from_adjacency(adjacency, config)
+        assert cgr.neighbors(0) == list(range(1, 17))
+        layout = cgr.layout(0)
+        assert layout.residual_count == 0
+        assert layout.interval_coverage == 16
+
+    def test_max_degree_hub(self, segment_bits):
+        # Node 0 points at every other node in a 300-node graph.
+        adjacency = [list(range(1, 300))] + [[] for _ in range(299)]
+        _round_trip(adjacency, "zeta3", segment_bits)
+
+    def test_residuals_only_no_intervals(self, segment_bits):
+        # Gaps of 2 never reach the minimum interval length of 4.
+        adjacency = [sorted(2 * i + 1 for i in range(40)) for _ in range(81)]
+        _round_trip(adjacency, "zeta3", segment_bits)
+
+    def test_duplicates_are_dropped_consistently(self, segment_bits):
+        config = CGRConfig(vlc_scheme="zeta3", residual_segment_bits=segment_bits)
+        cgr = CGRGraph.from_adjacency([[1, 1, 2, 2, 2], [0, 0], []], config)
+        assert cgr.neighbors(0) == [1, 2]
+        assert cgr.neighbors(1) == [0]
+        assert cgr.num_edges == 3

@@ -1,0 +1,312 @@
+"""Behaviour of the serving layer: registry, LRU cache, batching, speed.
+
+Covers the encode-once contract (verified against the process-wide encode
+counter), LRU eviction order and hit/miss accounting, the per-query metrics
+surfaced on ``QueryResult.metrics``, cold-vs-warm batches, and the headline
+claim: serving a repeated-graph workload through the service is at least
+twice as fast as rebuilding a ``GCGTEngine`` per query.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.bc import betweenness_centrality
+from repro.apps.bfs import bfs
+from repro.apps.cc import connected_components
+from repro.compression import cgr
+from repro.graph.generators import (
+    power_law_graph,
+    uniform_dense_graph,
+    web_locality_graph,
+)
+from repro.service import (
+    BCQuery,
+    BFSQuery,
+    CCQuery,
+    DecodedAdjacencyCache,
+    TraversalService,
+)
+from repro.traversal.gcgt import GCGTConfig, GCGTEngine
+
+
+@pytest.fixture()
+def three_graphs():
+    return {
+        "social": power_law_graph(150, avg_degree=6.0, hub_count=2, seed=5),
+        "web": web_locality_graph(150, avg_degree=8.0, seed=6),
+        "brain": uniform_dense_graph(96, degree=12, cluster_size=32, seed=7),
+    }
+
+
+def mixed_batch(names, per_graph=8):
+    """A deterministic mixed BFS/CC/BC batch cycling over ``names``."""
+    queries = []
+    for name in names:
+        for i in range(per_graph):
+            queries.append(BFSQuery(name, source=i % 5))
+            queries.append(BCQuery(name, source=(i + 1) % 5))
+        queries.append(CCQuery(name))
+    return queries
+
+
+# ---------------------------------------------------------------------------
+# LRU cache unit behaviour
+# ---------------------------------------------------------------------------
+
+class TestDecodedAdjacencyCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            DecodedAdjacencyCache(0)
+
+    def test_hit_miss_counting(self):
+        cache = DecodedAdjacencyCache(4)
+        built = []
+
+        def build_for(node):
+            return lambda: built.append(node) or node * 10
+
+        assert cache.lookup(1, build_for(1)) == 10
+        assert cache.lookup(1, build_for(1)) == 10
+        assert cache.lookup(2, build_for(2)) == 20
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert built == [1, 2]  # each node built exactly once
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_lru_eviction_order(self):
+        cache = DecodedAdjacencyCache(3)
+        for node in (1, 2, 3):
+            cache.lookup(node, lambda n=node: n)
+        # Refresh 1 so 2 becomes the least recently used entry.
+        cache.lookup(1, lambda: -1)
+        cache.lookup(4, lambda: 4)  # evicts 2
+        assert list(cache.cached_nodes()) == [3, 1, 4]
+        assert 2 not in cache and 1 in cache
+        assert cache.evictions == 1
+        cache.lookup(5, lambda: 5)  # evicts 3
+        assert list(cache.cached_nodes()) == [1, 4, 5]
+        assert cache.evictions == 2
+
+    def test_refreshed_entry_returns_cached_value_not_rebuilt(self):
+        cache = DecodedAdjacencyCache(2)
+        cache.lookup(7, lambda: "original")
+        assert cache.lookup(7, lambda: "rebuilt") == "original"
+
+    def test_clear_keeps_counters(self):
+        cache = DecodedAdjacencyCache(2)
+        cache.lookup(1, lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+        cache.lookup(1, lambda: 1)
+        assert cache.misses == 2
+
+
+# ---------------------------------------------------------------------------
+# Registry: encode-once semantics
+# ---------------------------------------------------------------------------
+
+class TestEncodeOnce:
+    def test_reregistering_returns_same_entry_without_encoding(self, three_graphs):
+        service = TraversalService()
+        before = cgr.encode_call_count()
+        first = service.register_graph("web", three_graphs["web"])
+        again = service.register_graph("web", three_graphs["web"])
+        assert first is again
+        assert cgr.encode_call_count() - before == 1
+
+    def test_distinct_configs_are_distinct_entries(self, three_graphs):
+        service = TraversalService()
+        plain = service.register_graph("web", three_graphs["web"])
+        unsegmented = service.register_graph(
+            "web", three_graphs["web"], GCGTConfig(residual_segmentation=False)
+        )
+        assert plain is not unsegmented
+        assert plain.cgr.config.residual_segment_bits is not None
+        assert unsegmented.cgr.config.residual_segment_bits is None
+
+    def test_unknown_graph_raises_with_known_names(self, three_graphs):
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"])
+        with pytest.raises(KeyError, match="web"):
+            service.submit([BFSQuery("nope", 0)])
+
+    def test_scheduling_only_config_differences_get_distinct_engines(
+        self, three_graphs
+    ):
+        # Regression: these two rungs share an encoding config (both have
+        # residual_segmentation=False) but must not share an engine.
+        from repro.traversal.gcgt import STRATEGY_LADDER
+
+        service = TraversalService()
+        intuitive = service.register_graph(
+            "web", three_graphs["web"], STRATEGY_LADDER["Intuitive"]
+        )
+        warp = service.register_graph(
+            "web", three_graphs["web"], STRATEGY_LADDER["Warp-centric"]
+        )
+        assert intuitive is not warp
+        assert intuitive.engine.strategy.name == "Intuitive"
+        assert warp.engine.strategy.name == "Warp-centric"
+
+    def test_graph_registered_under_custom_config_is_queryable(self, three_graphs):
+        # Regression: queries carry no config, so a single entry under a
+        # non-default config must resolve by name alone.
+        service = TraversalService()
+        service.register_graph(
+            "web", three_graphs["web"], GCGTConfig(residual_segmentation=False)
+        )
+        [result] = service.submit([BFSQuery("web", 0)])
+        reference = bfs(GCGTEngine.from_graph(three_graphs["web"]), 0)
+        np.testing.assert_array_equal(result.value.levels, reference.levels)
+
+    def test_ambiguous_multi_config_name_raises(self, three_graphs):
+        service = TraversalService()
+        service.register_graph(
+            "web", three_graphs["web"], GCGTConfig(warp_centric=False)
+        )
+        service.register_graph(
+            "web", three_graphs["web"], GCGTConfig(residual_segmentation=False)
+        )
+        with pytest.raises(KeyError, match="2 configurations"):
+            service.submit([BFSQuery("web", 0)])
+
+    def test_large_mixed_batch_encodes_each_graph_once(self, three_graphs):
+        """Acceptance: >= 64 mixed queries over 3 graphs, encode-once."""
+        service = TraversalService()
+        before = cgr.encode_call_count()
+        for name, graph in three_graphs.items():
+            service.register_graph(name, graph)
+        assert cgr.encode_call_count() - before == 3
+
+        queries = mixed_batch(three_graphs, per_graph=11)
+        assert len(queries) >= 64
+        results = service.submit(queries)
+        assert len(results) == len(queries)
+
+        # 3 directed encodings at registration + 3 lazy undirected siblings
+        # for CC; the 60+ repeat queries added nothing.
+        assert cgr.encode_call_count() - before == 6
+        assert service.registry.encode_calls == 6
+        assert sum(r.metrics.encode_calls for r in results) == 3  # one per CC
+        assert service.stats().queries_served == len(queries)
+
+    def test_csr_is_registered_side_by_side(self, three_graphs):
+        entry = TraversalService().register_graph("web", three_graphs["web"])
+        assert entry.csr.num_edges == entry.cgr.num_edges == entry.graph.num_edges
+        assert entry.csr.neighbors(0).tolist() == entry.cgr.neighbors(0)
+
+
+# ---------------------------------------------------------------------------
+# Per-query cache metrics and cold/warm batches
+# ---------------------------------------------------------------------------
+
+class TestCacheBehaviourThroughService:
+    def test_cold_then_warm_query_hit_counters(self, three_graphs):
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"])
+        cold, warm = service.submit([BFSQuery("web", 0), BFSQuery("web", 0)])
+        assert cold.metrics.cache_misses > 0
+        assert warm.metrics.cache_misses == 0
+        assert warm.metrics.cache_hits > 0
+        assert warm.metrics.cache_hit_rate == 1.0
+        # Identical traversals cost the same whether plans were cached or
+        # not: the cache saves host time, never simulated work.
+        assert warm.metrics.cost == cold.metrics.cost
+
+    def test_second_batch_is_fully_warm(self, three_graphs):
+        service = TraversalService()
+        for name, graph in three_graphs.items():
+            service.register_graph(name, graph)
+        batch = mixed_batch(three_graphs, per_graph=2)
+        service.submit(batch)
+        encode_after_first = service.registry.encode_calls
+
+        second = service.submit(batch)
+        assert service.registry.encode_calls == encode_after_first
+        assert all(r.metrics.encode_calls == 0 for r in second)
+        assert all(r.metrics.cache_misses == 0 for r in second)
+
+    def test_tiny_cache_evicts_but_stays_correct(self, three_graphs):
+        graph = three_graphs["web"]
+        service = TraversalService(cache_capacity=16)
+        entry = service.register_graph("web", graph)
+        [result] = service.submit([BFSQuery("web", 0)])
+        assert entry.plan_cache.evictions > 0
+        assert len(entry.plan_cache) <= 16
+        reference = bfs(GCGTEngine.from_graph(graph), 0)
+        np.testing.assert_array_equal(result.value.levels, reference.levels)
+
+    def test_sessions_do_not_share_metrics(self, three_graphs):
+        service = TraversalService()
+        entry = service.register_graph("web", three_graphs["web"])
+        r1, r2 = service.submit([BFSQuery("web", 0), BFSQuery("web", 0)])
+        # Each query's cost is its own, not an accumulation.
+        assert r1.metrics.cost == pytest.approx(r2.metrics.cost)
+        # The resident engine's default session stayed untouched.
+        assert entry.engine.metrics.instruction_rounds == 0
+
+
+# ---------------------------------------------------------------------------
+# Throughput: the point of the serving layer
+# ---------------------------------------------------------------------------
+
+def _run_per_query_engines(graphs, queries):
+    """The seed's pattern: build a fresh engine (re-encoding) per query."""
+    outputs = []
+    for query in queries:
+        graph = graphs[query.graph]
+        if isinstance(query, CCQuery):
+            engine = GCGTEngine.from_graph(graph.to_undirected())
+            outputs.append(connected_components(engine))
+        elif isinstance(query, BCQuery):
+            engine = GCGTEngine.from_graph(graph)
+            outputs.append(betweenness_centrality(engine, query.source))
+        else:
+            engine = GCGTEngine.from_graph(graph)
+            outputs.append(bfs(engine, query.source))
+    return outputs
+
+
+def test_service_is_faster_than_per_query_engines_and_answers_match(three_graphs):
+    """Batched serving beats the from_graph-per-query loop on 64+ queries.
+
+    The tier-1 bar is a loose smoke check so the fast CI matrix never flakes
+    on a noisy runner; the strict >= 2x acceptance measurement (best-of-N)
+    lives in ``benchmarks/test_service_throughput.py``.
+    """
+    queries = mixed_batch(three_graphs, per_graph=11)
+    assert len(queries) >= 64
+
+    service = TraversalService()
+    for name, graph in three_graphs.items():
+        service.register_graph(name, graph)
+
+    start = time.perf_counter()
+    served = service.submit(queries)
+    service_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    baseline = _run_per_query_engines(three_graphs, queries)
+    baseline_seconds = time.perf_counter() - start
+
+    # Same answers either way.
+    for served_result, baseline_result in zip(served, baseline):
+        if served_result.kind == "bfs":
+            np.testing.assert_array_equal(
+                served_result.value.levels, baseline_result.levels
+            )
+        elif served_result.kind == "cc":
+            np.testing.assert_array_equal(
+                served_result.value.labels, baseline_result.labels
+            )
+
+    speedup = baseline_seconds / service_seconds
+    assert speedup >= 1.3, (
+        f"service {service_seconds:.2f}s vs per-query {baseline_seconds:.2f}s "
+        f"= {speedup:.1f}x; expected a clear amortization win "
+        "(strict 2x bar is benchmarks/test_service_throughput.py)"
+    )

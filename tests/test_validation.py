@@ -1,0 +1,79 @@
+"""Regression tests: malformed adjacency input fails loudly, never mis-encodes.
+
+Before these checks, a negative or out-of-range neighbour id silently
+produced a corrupt CSR column array, and CGR would happily encode ids that
+can never decode back.  Every container now raises a ``ValueError`` naming
+the offending node and neighbour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression.cgr import CGRConfig, CGRGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+
+
+class TestGraphValidation:
+    def test_negative_neighbour_rejected(self):
+        with pytest.raises(ValueError, match=r"node 1 has negative neighbour id -3"):
+            Graph([[0], [-3, 2], []])
+
+    def test_out_of_range_neighbour_rejected(self):
+        with pytest.raises(ValueError, match=r"node 0 has neighbour 5 outside \[0, 3\)"):
+            Graph([[1, 5], [], []])
+
+    def test_from_edges_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\(0, 9\)"):
+            Graph.from_edges(3, [(0, 1), (0, 9)])
+
+    def test_unsorted_input_is_normalised_not_corrupted(self):
+        # Graph's contract is normalisation: sort + deduplicate.
+        graph = Graph([[2, 0, 2], [], []])
+        assert graph.neighbors(0) == [0, 2]
+
+
+class TestCSRValidation:
+    def test_negative_neighbour_rejected(self):
+        with pytest.raises(ValueError, match=r"node 0 has neighbour -1"):
+            CSRGraph.from_adjacency([[-1], []])
+
+    def test_out_of_range_neighbour_rejected(self):
+        with pytest.raises(ValueError, match=r"node 1 has neighbour 7 outside \[0, 2\)"):
+            CSRGraph.from_adjacency([[1], [7]])
+
+    def test_unsorted_adjacency_rejected(self):
+        with pytest.raises(ValueError, match=r"node 0 is not strictly increasing"):
+            CSRGraph.from_adjacency([[2, 1], [], []])
+
+    def test_duplicate_neighbours_rejected(self):
+        with pytest.raises(ValueError, match=r"node 0 is not strictly increasing"):
+            CSRGraph.from_adjacency([[1, 1], []])
+
+    def test_canonical_input_round_trips(self):
+        csr = CSRGraph.from_adjacency([[1, 2], [2], []])
+        assert csr.neighbors(0).tolist() == [1, 2]
+        assert csr.num_edges == 3
+
+    def test_from_graph_always_canonical(self):
+        # Graph normalises, so from_graph never trips the strict checks.
+        graph = Graph([[2, 1, 2], [0], []])
+        assert CSRGraph.from_graph(graph).neighbors(0).tolist() == [1, 2]
+
+
+class TestCGRValidation:
+    def test_negative_neighbour_rejected(self):
+        with pytest.raises(ValueError, match=r"node 0 has negative neighbour id -2"):
+            CGRGraph.from_adjacency([[-2, 1], []])
+
+    def test_negative_neighbour_rejected_unsegmented(self):
+        config = CGRConfig(residual_segment_bits=None)
+        with pytest.raises(ValueError, match="negative neighbour"):
+            CGRGraph.from_adjacency([[], [-1]], config)
+
+    def test_out_of_own_range_ids_still_encode(self):
+        # CGR is a pure id-stream codec: ids beyond len(adjacency) are legal
+        # (the Figure 2 fixture encodes node 16 -> 101), only sign matters.
+        cgr = CGRGraph.from_adjacency([[5, 6, 7]])
+        assert cgr.neighbors(0) == [5, 6, 7]
