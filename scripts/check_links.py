@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links resolve to real files.
+
+Usage::
+
+    python scripts/check_links.py README.md docs/ARCHITECTURE.md docs/API.md
+
+Scans each file for inline markdown links/images ``[text](target)`` and
+checks every *relative* target (no URL scheme, not a pure ``#anchor``)
+against the filesystem, resolved from the linking file's directory.  Exits
+non-zero listing every broken link, so CI catches documentation rot the
+moment a file is moved or renamed.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links and images: [text](target) / ![alt](target).
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not filesystem paths.
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#")
+
+
+def broken_links(markdown_file: Path) -> list[tuple[str, Path]]:
+    """All relative link targets in ``markdown_file`` that do not exist."""
+    text = markdown_file.read_text()
+    missing: list[tuple[str, Path]] = []
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (markdown_file.parent / path_part).resolve()
+        if not resolved.exists():
+            missing.append((target, resolved))
+    return missing
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        markdown_file = Path(name)
+        if not markdown_file.exists():
+            print(f"link-check: {name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for target, resolved in broken_links(markdown_file):
+            print(
+                f"link-check: {name}: broken link `{target}` "
+                f"(resolved to {resolved})",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        print(f"link-check: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"link-check: {len(argv)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Generate docs/API.md from the library's public surface.
+
+Walks every package in :data:`PACKAGES`, takes the names each one exports in
+``__all__``, and emits one markdown section per package: the package's
+one-line summary followed by an entry per exported name with its signature
+and the first paragraph of its docstring.  The output is deterministic, so
+CI can verify the committed file is current:
+
+    python scripts/gen_api_docs.py            # rewrite docs/API.md
+    python scripts/gen_api_docs.py --check    # exit 2 if docs/API.md is stale
+
+``--check`` also fails when an exported name is missing a docstring, which
+keeps the docstring-coverage contract of the public API enforced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+import typing
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+#: Packages documented, in presentation order (mirrors the layer map of
+#: docs/ARCHITECTURE.md: containers up to serving).
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.compression",
+    "repro.reorder",
+    "repro.gpu",
+    "repro.traversal",
+    "repro.apps",
+    "repro.baselines",
+    "repro.service",
+    "repro.dynamic",
+    "repro.bench",
+]
+
+HEADER = """\
+# API reference
+
+<!-- GENERATED FILE: do not edit by hand.
+     Regenerate with `python scripts/gen_api_docs.py`;
+     CI runs `python scripts/gen_api_docs.py --check`. -->
+
+Public surface of the library: every name the packages below export via
+`__all__`, with its signature and summary.  See
+[ARCHITECTURE.md](ARCHITECTURE.md) for how the layers fit together.
+"""
+
+
+def first_paragraph(obj) -> str:
+    """The first paragraph of an object's docstring, joined to one line."""
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return ""
+    paragraph = doc.split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in paragraph.splitlines())
+
+
+def signature_of(obj) -> str:
+    """A display signature for functions and classes; '' when not applicable."""
+    try:
+        if inspect.isclass(obj):
+            return str(inspect.signature(obj.__init__)).replace("(self, ", "(").replace(
+                "(self)", "()"
+            )
+        if callable(obj):
+            return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        pass
+    return ""
+
+
+def kind_of(obj) -> str:
+    if typing.get_origin(obj) is not None:
+        return "data"  # a typing alias (e.g. a Union), not a real callable
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isfunction(obj):
+        return "function"
+    if callable(obj):
+        return "callable"
+    return "data"
+
+
+def describe_data(obj) -> str:
+    """A deterministic one-line description of a module-level value.
+
+    Reprs of functions and instances embed memory addresses, which would
+    make the generated file differ between runs; mappings are summarised by
+    their keys and everything address-bearing by its type.
+    """
+    if isinstance(obj, dict):
+        keys = ", ".join(f"`{key}`" for key in obj)
+        return f"mapping with {len(obj)} entries: {keys}"
+    text = repr(obj)
+    if " at 0x" in text or len(text) > 120:
+        return f"a `{type(obj).__name__}` value"
+    return f"`{text}`"
+
+
+def render(strict: bool = False) -> tuple[str, list[str]]:
+    """Render the full API document; returns (markdown, problems)."""
+    lines = [HEADER]
+    problems: list[str] = []
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        exported = getattr(module, "__all__", None)
+        if not exported:
+            problems.append(f"{package_name}: no __all__")
+            continue
+        lines.append(f"\n## `{package_name}`\n")
+        summary = first_paragraph(module)
+        if summary:
+            lines.append(summary + "\n")
+        for name in exported:
+            if name == "__version__":
+                continue
+            obj = getattr(module, name, None)
+            if obj is None:
+                problems.append(f"{package_name}.{name}: exported but missing")
+                continue
+            kind = kind_of(obj)
+            signature = signature_of(obj)
+            title = f"`{name}{signature}`" if signature else f"`{name}`"
+            lines.append(f"### {title}\n")
+            doc = first_paragraph(obj)
+            if doc and kind == "data":
+                # Plain values (ints, dicts) inherit their type's docstring,
+                # which is noise; typing aliases carry none at all.  Render
+                # both from their value instead.
+                doc = ""
+            if doc:
+                lines.append(f"*{kind}* — {doc}\n")
+            elif kind == "data":
+                lines.append(f"*{kind}* — {describe_data(obj)}\n")
+            else:
+                lines.append(f"*{kind}*\n")
+                problems.append(f"{package_name}.{name}: missing docstring")
+    return "\n".join(lines).rstrip() + "\n", problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify docs/API.md is current instead of rewriting it",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "docs" / "API.md",
+        help="target file (default: docs/API.md)",
+    )
+    args = parser.parse_args()
+
+    content, problems = render(strict=args.check)
+    if problems:
+        for problem in problems:
+            print(f"api-docs: {problem}", file=sys.stderr)
+        return 3
+
+    if args.check:
+        if not args.output.exists():
+            print(f"api-docs: {args.output} does not exist; run "
+                  "`python scripts/gen_api_docs.py`", file=sys.stderr)
+            return 2
+        if args.output.read_text() != content:
+            print(f"api-docs: {args.output} is stale; run "
+                  "`python scripts/gen_api_docs.py` and commit the result",
+                  file=sys.stderr)
+            return 2
+        print(f"api-docs: {args.output} is up to date")
+        return 0
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(content)
+    print(f"api-docs: wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,10 @@ it depends on, in pure Python:
   encode-once semantics, an LRU decoded-adjacency cache, and
   :class:`TraversalService`, which answers batches of mixed BFS/CC/BC
   queries over resident graphs;
+* :mod:`repro.dynamic` -- dynamic graph updates: a delta-overlay CGR that
+  absorbs edge insertions/deletions incrementally (tombstones + side-stream
+  insert logs + per-node compaction), so registered graphs mutate between
+  queries without ever re-encoding;
 * :mod:`repro.bench` -- the harness regenerating every table and figure of
   the paper's evaluation (its GCGT bars run through the service).
 
@@ -34,6 +38,13 @@ Quick start -- register a graph once, then serve any number of queries::
     results = service.submit([BFSQuery("uk", source=0), CCQuery("uk")])
     print(entry.compression_rate, results[0].value.visited_count)
     print(results[0].metrics.cache_hit_rate, service.stats().encode_calls)
+
+Evolving graphs -- apply updates between queries, no re-encode::
+
+    from repro import EdgeUpdate
+
+    service.apply_updates("uk", [EdgeUpdate.insert(0, 9), EdgeUpdate.delete(3, 4)])
+    [fresh] = service.submit([BFSQuery("uk", source=0)])  # sees the new edge
 
 For a single ad-hoc traversal the engine surface is still there::
 
@@ -64,8 +75,14 @@ from repro.service import (
     QueryResult,
     TraversalService,
 )
+from repro.dynamic import (
+    CompactionPolicy,
+    DeltaOverlay,
+    EdgeUpdate,
+    UpdateStats,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CGRConfig",
@@ -92,5 +109,9 @@ __all__ = [
     "QueryResult",
     "GraphRegistry",
     "TraversalService",
+    "CompactionPolicy",
+    "DeltaOverlay",
+    "EdgeUpdate",
+    "UpdateStats",
     "__version__",
 ]

@@ -304,6 +304,32 @@ def encode_graph(
     return CGRGraph.from_adjacency(adjacency, config)
 
 
+def encode_node_adjacency(
+    writer: BitWriter,
+    config: CGRConfig,
+    node: int,
+    neighbors: Sequence[int],
+) -> int:
+    """Append the CGR encoding of one node's adjacency list to ``writer``.
+
+    This is the per-node half of :meth:`CGRGraph.from_adjacency`, exposed so
+    incremental layers (:mod:`repro.dynamic`) can re-encode a single node --
+    e.g. when compacting a node's update delta back into interval/residual
+    form -- without paying a whole-graph encode.  ``neighbors`` is sorted and
+    de-duplicated first, exactly as the full-graph encoder does.  Returns the
+    number of bits written.
+    """
+    cleaned = sorted(set(int(v) for v in neighbors))
+    if cleaned and cleaned[0] < 0:
+        raise ValueError(
+            f"node {node} has negative neighbour id {cleaned[0]}; "
+            "CGR encodes non-negative node ids only"
+        )
+    before = writer.bit_length
+    _encode_node(writer, config.scheme, config, node, cleaned)
+    return writer.bit_length - before
+
+
 # ---------------------------------------------------------------------------
 # Encoding internals
 # ---------------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Dynamic graph updates: delta-overlay CGR with incremental serving.
+
+Real serving workloads mutate their graphs between queries.  This package
+lets the compressed-graph stack absorb edge insertions and deletions without
+the whole-graph re-encode that would otherwise be paid per update batch --
+the incremental-maintenance idea of answering-queries-under-updates applied
+to the CGR/traversal/serving stack:
+
+* :mod:`repro.dynamic.updates` -- :class:`EdgeUpdate` batches, the
+  :class:`UpdateStats` bookkeeping record and batch helpers;
+* :mod:`repro.dynamic.overlay` -- :class:`DeltaOverlay`, the mutable
+  engine-facing graph: a frozen CGR base, per-node insert logs encoded in an
+  append-only side bit-stream, tombstoned deletions suppressed in the
+  filtering step, and merged traversal plans served transparently to every
+  scheduling strategy;
+* :mod:`repro.dynamic.compaction` -- :class:`CompactionPolicy`, the per-node
+  threshold at which a delta is folded back into interval/residual form
+  (amortised: one node at a time, never the whole graph).
+
+Quick start -- mutate a registered graph and keep serving::
+
+    from repro import EdgeUpdate, BFSQuery, TraversalService
+
+    service = TraversalService()
+    service.register_graph("live", graph)
+    service.apply_updates("live", [
+        EdgeUpdate.insert(0, 7), EdgeUpdate.delete(3, 4),
+    ])
+    results = service.submit([BFSQuery("live", source=0)])  # sees the updates
+"""
+
+from repro.dynamic.compaction import CompactionPolicy
+from repro.dynamic.overlay import DeltaOverlay, NodeDelta, OverlayStats, SplicedBits
+from repro.dynamic.updates import (
+    EdgeUpdate,
+    UpdateStats,
+    coerce_updates,
+    delete_edge,
+    insert_edge,
+    symmetrized,
+)
+
+__all__ = [
+    "CompactionPolicy",
+    "DeltaOverlay",
+    "EdgeUpdate",
+    "NodeDelta",
+    "OverlayStats",
+    "SplicedBits",
+    "UpdateStats",
+    "coerce_updates",
+    "delete_edge",
+    "insert_edge",
+    "symmetrized",
+]

@@ -1,0 +1,73 @@
+"""When to fold a node's update delta back into compressed form.
+
+A delta overlay answers reads by merging three sources per node: the frozen
+CGR extent, the insert log and the tombstone set.  Every tombstone still
+costs decode work (the dead neighbour is decoded, then suppressed at the
+filtering step) and every insert is served from a side log that compresses
+worse than interval/residual form.  Compaction pays one per-node re-encode to
+collapse all three back into a single CGR extent -- the incremental analogue
+of the paper's encode step, amortised so that no whole-graph rebuild ever
+happens.
+
+:class:`CompactionPolicy` decides *when* that trade is worth it, from two
+signals: the absolute delta size and the delta's size relative to the node's
+current extent degree.  The mechanism itself (re-encoding into the overlay's
+side stream) lives in :class:`repro.dynamic.overlay.DeltaOverlay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Per-node trigger for folding a delta back into CGR form.
+
+    A node is compacted as soon as its delta size (inserts + tombstones)
+    reaches ``max(min_delta, degree_fraction * extent_degree)``.  The
+    absolute floor keeps low-degree nodes from compacting on every single
+    update; the fractional term keeps high-degree hubs from accumulating
+    deltas that dwarf their compressed form.
+
+    Attributes:
+        min_delta: smallest delta size that can ever trigger compaction.
+        degree_fraction: delta size relative to the node's extent degree
+            that triggers compaction for high-degree nodes.
+
+    ``CompactionPolicy.never()`` disables automatic compaction (explicit
+    :meth:`~repro.dynamic.overlay.DeltaOverlay.compact` calls still work),
+    which tests use to exercise long-lived deltas.
+    """
+
+    min_delta: int = 8
+    degree_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_delta < 1:
+            raise ValueError(f"min_delta must be >= 1, got {self.min_delta}")
+        if self.degree_fraction < 0:
+            raise ValueError(
+                f"degree_fraction must be >= 0, got {self.degree_fraction}"
+            )
+
+    def threshold(self, extent_degree: int) -> float:
+        """Delta size at which a node with ``extent_degree`` compacts."""
+        return max(self.min_delta, self.degree_fraction * extent_degree)
+
+    def should_compact(self, delta_size: int, extent_degree: int) -> bool:
+        """True when a node's delta has outgrown the policy's threshold."""
+        return delta_size >= self.threshold(extent_degree)
+
+    @classmethod
+    def never(cls) -> "CompactionPolicy":
+        """A policy that never triggers automatic compaction."""
+        return cls(min_delta=1 << 60, degree_fraction=0.0)
+
+    @classmethod
+    def eager(cls) -> "CompactionPolicy":
+        """A policy that compacts a node on its very first delta entry."""
+        return cls(min_delta=1, degree_fraction=0.0)
+
+
+__all__ = ["CompactionPolicy"]

@@ -1,0 +1,162 @@
+"""Edge-update vocabulary of the dynamic-graph subsystem.
+
+A live graph mutates between queries as a stream of edge insertions and
+deletions.  This module defines the wire format of that stream --
+:class:`EdgeUpdate` -- together with the bookkeeping record every layer that
+absorbs a batch reports back (:class:`UpdateStats`) and small helpers to
+coerce user-friendly tuples and to mirror a batch for undirected graphs.
+
+The module deliberately imports nothing from the rest of the library so that
+low-level layers (:class:`repro.graph.graph.Graph`) and high-level layers
+(:class:`repro.service.TraversalService`) can both speak it without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Update kinds.  ``INSERT`` adds a directed edge, ``DELETE`` tombstones one.
+INSERT = "insert"
+DELETE = "delete"
+
+_KINDS = (INSERT, DELETE)
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One directed edge mutation: insert or delete ``source -> target``.
+
+    Attributes:
+        kind: either :data:`INSERT` or :data:`DELETE`.
+        source: id of the edge's source node (non-negative).
+        target: id of the edge's target node (non-negative).
+
+    Updates are value objects; a batch is any sequence of them, applied in
+    order.  Self-loops are rejected at application time (the datasets the
+    paper evaluates are preprocessed to drop them), not at construction, so a
+    batch recorded from an external feed can still be represented.
+    """
+
+    kind: str
+    source: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.source < 0 or self.target < 0:
+            raise ValueError(
+                f"node ids must be non-negative, got ({self.source}, {self.target})"
+            )
+
+    @classmethod
+    def insert(cls, source: int, target: int) -> "EdgeUpdate":
+        """An insertion of the directed edge ``source -> target``."""
+        return cls(INSERT, source, target)
+
+    @classmethod
+    def delete(cls, source: int, target: int) -> "EdgeUpdate":
+        """A deletion (tombstone) of the directed edge ``source -> target``."""
+        return cls(DELETE, source, target)
+
+    @property
+    def reversed(self) -> "EdgeUpdate":
+        """The same mutation applied to the opposite edge direction."""
+        return EdgeUpdate(self.kind, self.target, self.source)
+
+
+def insert_edge(source: int, target: int) -> EdgeUpdate:
+    """Shorthand for :meth:`EdgeUpdate.insert`."""
+    return EdgeUpdate.insert(source, target)
+
+
+def delete_edge(source: int, target: int) -> EdgeUpdate:
+    """Shorthand for :meth:`EdgeUpdate.delete`."""
+    return EdgeUpdate.delete(source, target)
+
+
+def coerce_updates(updates: Iterable) -> list[EdgeUpdate]:
+    """Normalise a batch into :class:`EdgeUpdate` objects.
+
+    Accepts :class:`EdgeUpdate` instances and ``(kind, source, target)``
+    triples (kind being ``"insert"``/``"delete"``), so callers can write
+    batches as plain tuples.  Returns a new list; order is preserved.
+    """
+    result: list[EdgeUpdate] = []
+    for update in updates:
+        if isinstance(update, EdgeUpdate):
+            result.append(update)
+        else:
+            kind, source, target = update
+            result.append(EdgeUpdate(str(kind), int(source), int(target)))
+    return result
+
+
+def symmetrized(updates: Iterable) -> list[EdgeUpdate]:
+    """Both-direction expansion of a batch, for symmetric (undirected) graphs.
+
+    Every update is emitted twice, once per direction, preserving batch
+    order.  Use this when feeding a batch straight into an overlay that holds
+    an undirected graph; :meth:`repro.service.GraphRegistry.apply_updates`
+    performs the more careful variant that respects reverse directed edges.
+    """
+    result: list[EdgeUpdate] = []
+    for update in coerce_updates(updates):
+        result.append(update)
+        if update.source != update.target:
+            result.append(update.reversed)
+    return result
+
+
+@dataclass
+class UpdateStats:
+    """What applying one batch actually did.
+
+    Attributes:
+        inserted: edges added (after no-op normalisation).
+        deleted: edges removed (after no-op normalisation).
+        ignored: updates that changed nothing -- duplicate inserts, deletes
+            of absent edges, and self-loops.
+        compactions: nodes whose delta was folded back into CGR form by the
+            compaction policy while absorbing this batch.
+        touched_nodes: source nodes whose adjacency changed (these are the
+            nodes whose cached decode plans must be invalidated).
+        applied: the effective updates, in order -- the subset of the batch
+            that changed the edge set.  Consumers use it to mirror a batch
+            precisely (e.g. onto an undirected sibling).
+    """
+
+    inserted: int = 0
+    deleted: int = 0
+    ignored: int = 0
+    compactions: int = 0
+    touched_nodes: set[int] = field(default_factory=set)
+    applied: list[EdgeUpdate] = field(default_factory=list)
+
+    @property
+    def changed(self) -> int:
+        """Total number of effective mutations (inserted + deleted)."""
+        return self.inserted + self.deleted
+
+    def merge(self, other: "UpdateStats") -> None:
+        """Fold another stats record into this one (for multi-entry fan-out)."""
+        self.inserted += other.inserted
+        self.deleted += other.deleted
+        self.ignored += other.ignored
+        self.compactions += other.compactions
+        self.touched_nodes |= other.touched_nodes
+        self.applied.extend(other.applied)
+
+
+__all__ = [
+    "DELETE",
+    "EdgeUpdate",
+    "INSERT",
+    "UpdateStats",
+    "coerce_updates",
+    "delete_edge",
+    "insert_edge",
+    "symmetrized",
+]

@@ -187,6 +187,49 @@ class Graph:
             adjacency[new_source] = sorted(permutation[t] for t in neighbors)
         return Graph(adjacency)
 
+    def with_edge_updates(self, updates: Iterable) -> "Graph":
+        """A copy of the graph with a batch of edge updates applied in order.
+
+        ``updates`` is a sequence of :class:`repro.dynamic.EdgeUpdate`
+        objects or ``(kind, source, target)`` triples with ``kind`` being
+        ``"insert"`` or ``"delete"`` (duck-typed here so the graph layer
+        stays import-free of the dynamic package).  Semantics match
+        :meth:`repro.dynamic.DeltaOverlay.apply`: duplicate inserts, deletes
+        of absent edges and self-loops are no-ops; out-of-range node ids
+        raise :class:`ValueError`.  Untouched adjacency lists are shared
+        with the original graph, so the copy costs O(touched nodes), not
+        O(V + E).
+        """
+        num_nodes = self.num_nodes
+        touched: dict[int, set[int]] = {}
+        for update in updates:
+            if isinstance(update, tuple):
+                kind, source, target = update
+            else:
+                kind, source, target = update.kind, update.source, update.target
+            if kind not in ("insert", "delete"):
+                raise ValueError(f"unknown update kind {kind!r}")
+            if not (0 <= source < num_nodes and 0 <= target < num_nodes):
+                raise ValueError(
+                    f"update ({source}, {target}) outside [0, {num_nodes})"
+                )
+            if source == target:
+                continue
+            neighbors = touched.get(source)
+            if neighbors is None:
+                neighbors = set(self._adjacency[source])
+                touched[source] = neighbors
+            if kind == "insert":
+                neighbors.add(target)
+            else:
+                neighbors.discard(target)
+        result = Graph.__new__(Graph)
+        adjacency = list(self._adjacency)
+        for node, neighbors in touched.items():
+            adjacency[node] = sorted(neighbors)
+        result._adjacency = adjacency
+        return result
+
     def subgraph(self, nodes: Sequence[int]) -> "Graph":
         """Induced subgraph on ``nodes``, relabelled to 0..len(nodes)-1."""
         index = {node: i for i, node in enumerate(nodes)}

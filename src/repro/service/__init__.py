@@ -11,15 +11,18 @@ across a query stream:
 * :mod:`repro.service.queries` -- the ``BFSQuery``/``CCQuery``/``BCQuery``
   request types and the ``QueryResult`` + metrics envelope;
 * :mod:`repro.service.service` -- :class:`TraversalService`, the unified
-  ``submit(queries) -> list[QueryResult]`` entry point.
+  ``submit(queries) -> list[QueryResult]`` entry point, with
+  ``apply_updates`` for live edge mutations (served through
+  :mod:`repro.dynamic` delta overlays, never a full re-encode).
 
 Quick start::
 
-    from repro import BFSQuery, CCQuery, TraversalService, load_dataset
+    from repro import BFSQuery, CCQuery, EdgeUpdate, TraversalService, load_dataset
 
     service = TraversalService()
     service.register_graph("uk", load_dataset("uk-2002", scale=2000))
     results = service.submit([BFSQuery("uk", source=0), CCQuery("uk")])
+    service.apply_updates("uk", [EdgeUpdate.insert(0, 42)])
     print(results[0].value.visited_count, results[0].metrics.cache_hit_rate)
 """
 

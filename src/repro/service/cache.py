@@ -1,13 +1,19 @@
-"""LRU cache of decoded node adjacency structure.
+"""LRU cache of decoded node adjacency structure, keyed by mutation epoch.
 
 Decoding a node's compressed adjacency list -- walking its interval
-descriptors and locating every residual segment -- is pure function of the
-graph, yet the seed paid it on every query that touched the node.  The
-service keeps one :class:`DecodedAdjacencyCache` per registered graph and
-plugs it into the engine's :meth:`~repro.traversal.gcgt.GCGTEngine.node_plan`
-hook, so a hot node's structural decode is paid once per graph, not once per
-query.  The cache is a plain LRU with hit/miss/eviction counters that
-:class:`~repro.service.queries.QueryMetrics` surfaces per query.
+descriptors and locating every residual segment -- is a pure function of the
+graph *at one point in time*, yet the seed paid it on every query that
+touched the node.  The service keeps one :class:`DecodedAdjacencyCache` per
+registered graph and plugs it into the engine's
+:meth:`~repro.traversal.gcgt.GCGTEngine.node_plan` hook, so a hot node's
+structural decode is paid once per graph, not once per query.
+
+Dynamic graphs add a second axis: when an update batch mutates a node, its
+cached plan must never be served again.  Every entry therefore carries the
+node's **mutation epoch** (see :meth:`repro.dynamic.DeltaOverlay.node_epoch`);
+a lookup whose epoch differs from the cached one drops the stale plan,
+counts an *invalidation* and rebuilds.  Static graphs always look up at
+epoch 0, which degenerates to the plain LRU behaviour.
 
 The *simulated* decode cost the strategies charge is unaffected: plans only
 describe where the bits are; every strategy still charges the warp for the
@@ -39,42 +45,77 @@ class CacheSnapshot:
     hits: int
     misses: int
     evictions: int
+    invalidations: int = 0
 
 
 class DecodedAdjacencyCache:
-    """An LRU mapping node id -> decoded :class:`NodePlan`.
+    """An LRU mapping node id -> decoded :class:`NodePlan` at one epoch.
 
     Satisfies the :class:`repro.traversal.gcgt.PlanCache` protocol.  Capacity
     bounds the number of resident plans; a lookup of a cached node refreshes
     its recency, and inserting into a full cache evicts the least recently
-    used entry.
+    used entry.  Counters distinguish capacity pressure (``evictions``) from
+    update churn (``invalidations``):
+
+    * ``evictions`` -- plans displaced to make room, **including** resident
+      plans dropped wholesale by :meth:`clear` (e.g. when the registry
+      replaces a graph; earlier versions silently under-counted these).
+    * ``invalidations`` -- plans dropped because their node mutated: an
+      explicit :meth:`invalidate` call or an epoch-mismatched lookup.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._plans: OrderedDict[int, NodePlan] = OrderedDict()
+        self._plans: OrderedDict[int, tuple[int, NodePlan]] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # -- PlanCache protocol ---------------------------------------------------
 
-    def lookup(self, node: int, build: Callable[[], NodePlan]) -> NodePlan:
-        """The plan for ``node``, building and inserting it on a miss."""
-        plan = self._plans.get(node)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(node)
-            return plan
+    def lookup(
+        self, node: int, build: Callable[[], NodePlan], epoch: int = 0
+    ) -> NodePlan:
+        """The plan for ``node`` at ``epoch``, building and inserting on a miss.
+
+        A resident plan from a *different* epoch is stale -- the node mutated
+        since it was decoded -- so it is dropped (counted as an
+        invalidation), rebuilt via ``build`` and re-inserted under the new
+        epoch.
+        """
+        entry = self._plans.get(node)
+        if entry is not None:
+            cached_epoch, plan = entry
+            if cached_epoch == epoch:
+                self.hits += 1
+                self._plans.move_to_end(node)
+                return plan
+            del self._plans[node]
+            self.invalidations += 1
         self.misses += 1
         plan = build()
-        self._plans[node] = plan
+        self._plans[node] = (epoch, plan)
         if len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
             self.evictions += 1
         return plan
+
+    def invalidate(self, node: int) -> bool:
+        """Drop the resident plan of ``node``, if any.
+
+        Called by :meth:`repro.service.GraphRegistry.apply_updates` for every
+        node an update batch touched.  Epoch-keyed lookups make this optional
+        for correctness (a stale epoch can never hit) -- eager invalidation
+        just frees the slot immediately.  Returns whether a plan was dropped.
+        """
+        if node in self._plans:
+            del self._plans[node]
+            self.invalidations += 1
+            return True
+        return False
 
     # -- introspection --------------------------------------------------------
 
@@ -88,6 +129,11 @@ class DecodedAdjacencyCache:
         """Resident node ids, least recently used first."""
         return iter(self._plans)
 
+    def epoch_of(self, node: int) -> int | None:
+        """Epoch the resident plan of ``node`` was built at, or ``None``."""
+        entry = self._plans.get(node)
+        return None if entry is None else entry[0]
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (1.0 when unused)."""
@@ -95,16 +141,26 @@ class DecodedAdjacencyCache:
 
     def snapshot(self) -> CacheSnapshot:
         """Freeze the counters (for per-query delta attribution)."""
-        return CacheSnapshot(self.hits, self.misses, self.evictions)
+        return CacheSnapshot(
+            self.hits, self.misses, self.evictions, self.invalidations
+        )
 
     def clear(self) -> None:
-        """Drop all resident plans; counters are kept."""
+        """Drop all resident plans; cumulative counters are kept.
+
+        Every dropped plan counts as an eviction.  This is the fix for a
+        metrics bug: when the registry replaced a graph and re-registered
+        the same nodes, the plans displaced by the replacement vanished
+        without being counted, under-reporting cache churn.
+        """
+        self.evictions += len(self._plans)
         self._plans.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DecodedAdjacencyCache(size={len(self)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, invalidations={self.invalidations})"
         )
 
 

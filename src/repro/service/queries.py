@@ -67,6 +67,11 @@ class QueryMetrics:
         cache_misses: decoded-plan cache misses (nodes decoded afresh).
         encode_calls: full-graph encode calls triggered while serving this
             query; 0 whenever the graph was already resident (encode-once).
+        cache_invalidations: stale plans dropped while serving this query
+            (epoch-mismatched lookups after an update batch).
+        graph_epoch: the served graph's mutation epoch at answer time (0 for
+            never-updated graphs); lets clients correlate answers with the
+            update stream.
     """
 
     cost: float
@@ -75,6 +80,8 @@ class QueryMetrics:
     cache_hits: int
     cache_misses: int
     encode_calls: int
+    cache_invalidations: int = 0
+    graph_epoch: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

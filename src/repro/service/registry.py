@@ -1,17 +1,27 @@
-"""The graph registry: named graphs encoded once, CGR + CSR side by side.
+"""The graph registry: named graphs encoded once, served through delta overlays.
 
 Registering a graph pays the expensive host-side work exactly once: the CGR
-encode (the representation GCGT traverses), the CSR build (the uncompressed
-side-by-side form baselines and exact-answer paths read), and the engine
-construction that loads the CGR into simulated device memory.  Entries are
-keyed by ``(name, GCGTConfig)`` -- the full engine configuration, not just
-the encoding part, so two ladder rungs that share an encoding but schedule
-differently get their own engines -- and the same (name, config) pair is
-never encoded twice.
+encode (the frozen base the dynamic overlay wraps), the CSR build (the
+uncompressed side-by-side form baselines and exact-answer paths read), and
+the engine construction that loads the graph into simulated device memory.
+Entries are keyed by ``(name, GCGTConfig)`` -- the full engine configuration,
+not just the encoding part, so two ladder rungs that share an encoding but
+schedule differently get their own engines -- and the same (name, config)
+pair is never encoded twice.
+
+Each entry's engine reads the graph through a
+:class:`~repro.dynamic.DeltaOverlay`, which is what lets
+:meth:`GraphRegistry.apply_updates` absorb edge insertions/deletions in time
+proportional to the batch: the frozen base is never re-encoded; inserts land
+in the overlay's side stream, deletions become tombstones, and per-node
+compaction folds oversized deltas back into CGR form.  Every touched node's
+cached decode plan is invalidated by epoch, so queries after a batch see the
+mutated graph while untouched nodes keep their warm plans.
 
 Connected components runs on the undirected interpretation of a graph, so the
 registry also keeps a lazily-built undirected sibling per entry, again encoded
-at most once.
+at most once; update batches are mirrored onto it (respecting reverse directed
+edges) whenever it exists.
 """
 
 from __future__ import annotations
@@ -19,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compression.cgr import CGRGraph
+from repro.dynamic.compaction import CompactionPolicy
+from repro.dynamic.overlay import DeltaOverlay
+from repro.dynamic.updates import EdgeUpdate, UpdateStats, coerce_updates
 from repro.gpu.device import GPUDevice
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
@@ -32,17 +45,37 @@ RegistryKey = tuple[str, GCGTConfig]
 
 @dataclass
 class RegisteredGraph:
-    """One resident graph: raw container, both encodings, engine and cache."""
+    """One resident graph: raw container, encodings, overlay, engine, cache.
+
+    Attributes:
+        name: the name queries address the graph by.
+        graph: the uncompressed container, kept in sync with applied updates
+            (it is the from-scratch reference the differential tests encode).
+        config: the full engine configuration this entry was built with.
+        cgr: the frozen base encode (never mutated after registration).
+        overlay: the delta overlay the engine actually reads through.
+        engine: the resident traversal engine (its ``graph`` is ``overlay``).
+        plan_cache: the per-entry decoded-plan LRU, epoch-invalidated.
+    """
 
     name: str
     graph: Graph
     config: GCGTConfig
     cgr: CGRGraph
-    csr: CSRGraph
+    overlay: DeltaOverlay
     engine: GCGTEngine
     plan_cache: DecodedAdjacencyCache
     #: The symmetrised sibling used by CC queries, built on first use.
     undirected: "RegisteredGraph | None" = field(default=None, repr=False)
+    #: Lazily (re)built CSR; dropped whenever an update batch lands.
+    _csr: CSRGraph | None = field(default=None, repr=False)
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The uncompressed CSR form, rebuilt on demand after updates."""
+        if self._csr is None:
+            self._csr = CSRGraph.from_graph(self.graph)
+        return self._csr
 
     @property
     def num_nodes(self) -> int:
@@ -50,11 +83,18 @@ class RegisteredGraph:
 
     @property
     def num_edges(self) -> int:
-        return self.graph.num_edges
+        """Live edge count (tracks applied updates)."""
+        return self.overlay.num_edges
+
+    @property
+    def epoch(self) -> int:
+        """The overlay's mutation epoch (0 until the first update batch)."""
+        return self.overlay.epoch
 
     @property
     def compression_rate(self) -> float:
-        return self.cgr.compression_rate
+        """Compression rate over the overlay's live bits."""
+        return self.overlay.compression_rate
 
 
 class GraphRegistry:
@@ -65,14 +105,21 @@ class GraphRegistry:
         device: GPUDevice | None = None,
         default_config: GCGTConfig | None = None,
         cache_capacity: int = 4096,
+        compaction_policy: CompactionPolicy | None = None,
     ) -> None:
         self.device = device or GPUDevice()
         self.default_config = default_config or GCGTConfig()
         self.cache_capacity = cache_capacity
+        self.compaction_policy = compaction_policy or CompactionPolicy()
         self._entries: dict[RegistryKey, RegisteredGraph] = {}
         #: Total CGR encode calls this registry performed (directed and
-        #: undirected variants); flat across repeated registrations/queries.
+        #: undirected variants); flat across repeated registrations/queries
+        #: and across update batches (overlays never trigger a full encode).
         self.encode_calls = 0
+        #: Update-ingest counters (aggregated across apply_updates calls).
+        self.update_batches = 0
+        self.edges_inserted = 0
+        self.edges_deleted = 0
 
     # -- registration ---------------------------------------------------------
 
@@ -86,7 +133,8 @@ class GraphRegistry:
 
         Re-registering the same ``(name, config)`` returns the existing entry
         without re-encoding, even if a different :class:`Graph` instance is
-        passed -- the registry is the source of truth for resident graphs.
+        passed -- the registry is the source of truth for resident graphs
+        (use :meth:`replace` to swap a resident graph for new data).
         """
         config = config or self.default_config
         key = (name, config)
@@ -96,13 +144,57 @@ class GraphRegistry:
             self._entries[key] = entry
         return entry
 
-    def _encode(self, name: str, graph: Graph, config: GCGTConfig) -> RegisteredGraph:
+    def replace(
+        self,
+        name: str,
+        graph: Graph,
+        config: GCGTConfig | None = None,
+    ) -> RegisteredGraph:
+        """Swap the resident graph under ``name`` for ``graph``.
+
+        Unlike :meth:`register` this always re-encodes.  With ``config``
+        omitted, **every** entry registered under ``name`` is replaced (one
+        re-encode per configuration), so same-name entries can never serve
+        divergent topologies; pass ``config`` to target a single entry
+        explicitly.  Each replaced entry's plan cache **object** is kept
+        (its cumulative counters survive, and the plans it still holds are
+        dropped as evictions -- see
+        :meth:`~repro.service.cache.DecodedAdjacencyCache.clear`); undirected
+        siblings are discarded and lazily rebuilt from the new graph on the
+        next CC query.  Returns the replaced entry (the first-registered one
+        when several configurations were replaced).
+        """
+        if config is not None:
+            keys = [(name, config)]
+        else:
+            keys = [key for key in self._entries if key[0] == name]
+            if not keys:
+                keys = [(name, self.default_config)]
+        for key in keys:
+            previous = self._entries.get(key)
+            plan_cache = None
+            if previous is not None:
+                plan_cache = previous.plan_cache
+                plan_cache.clear()
+            self._entries[key] = self._encode(
+                name, graph, key[1], plan_cache=plan_cache
+            )
+        return self._entries[keys[0]]
+
+    def _encode(
+        self,
+        name: str,
+        graph: Graph,
+        config: GCGTConfig,
+        plan_cache: DecodedAdjacencyCache | None = None,
+    ) -> RegisteredGraph:
         """Pay the one-time encode + residency cost for one graph."""
         cgr = CGRGraph.from_adjacency(graph.adjacency(), config.effective_cgr_config())
-        csr = CSRGraph.from_graph(graph)
-        plan_cache = DecodedAdjacencyCache(self.cache_capacity)
+        overlay = DeltaOverlay(cgr, policy=self.compaction_policy)
+        if plan_cache is None:
+            plan_cache = DecodedAdjacencyCache(self.cache_capacity)
         engine = GCGTEngine(
-            cgr, device=self.device, config=config, plan_cache=plan_cache
+            overlay, device=self.device, config=config, plan_cache=plan_cache
         )
         self.encode_calls += 1
         return RegisteredGraph(
@@ -110,10 +202,96 @@ class GraphRegistry:
             graph=graph,
             config=config,
             cgr=cgr,
-            csr=csr,
+            overlay=overlay,
             engine=engine,
             plan_cache=plan_cache,
+            _csr=CSRGraph.from_graph(graph),
         )
+
+    # -- updates --------------------------------------------------------------
+
+    def apply_updates(self, name: str, updates) -> UpdateStats:
+        """Absorb an edge-update batch into every entry registered as ``name``.
+
+        The batch (a sequence of :class:`~repro.dynamic.EdgeUpdate` or
+        ``(kind, source, target)`` triples, applied in order) lands in each
+        entry's overlay -- no full re-encode -- and is mirrored onto the
+        lazily-built undirected sibling when one exists, respecting reverse
+        directed edges (deleting ``u -> v`` only removes the undirected edge
+        when ``v -> u`` is also absent).  Touched nodes' cached plans are
+        invalidated; untouched plans stay warm.  Raises :class:`KeyError`
+        for unknown names.
+
+        Returns the effective :class:`~repro.dynamic.UpdateStats` of one
+        representative entry (all same-name entries hold the same topology,
+        so their applied sets coincide; compactions are summed across
+        entries because they depend on each entry's encoding).
+        """
+        batch = coerce_updates(updates)
+        keys = [key for key in self._entries if key[0] == name]
+        if not keys:
+            known = ", ".join(self.names()) or "<none>"
+            raise KeyError(
+                f"graph {name!r} is not registered; registered names: {known}"
+            )
+        total: UpdateStats | None = None
+        for key in keys:
+            entry = self._entries[key]
+            stats = self._apply_to_entry(entry, batch)
+            if total is None:
+                total = stats
+            else:
+                total.compactions += stats.compactions
+        assert total is not None
+        self.update_batches += 1
+        self.edges_inserted += total.inserted
+        self.edges_deleted += total.deleted
+        return total
+
+    def _apply_to_entry(
+        self, entry: RegisteredGraph, batch: list[EdgeUpdate]
+    ) -> UpdateStats:
+        """One entry's share of a batch: overlay, container, sibling, cache."""
+        stats = entry.overlay.apply(batch)
+        for node in stats.touched_nodes:
+            entry.plan_cache.invalidate(node)
+        if stats.changed:
+            entry.graph = entry.graph.with_edge_updates(stats.applied)
+            entry._csr = None
+        if entry.undirected is not None and stats.changed:
+            mirror = self._mirror_batch(stats.applied, entry.graph)
+            mirror_stats = entry.undirected.overlay.apply(mirror)
+            for node in mirror_stats.touched_nodes:
+                entry.undirected.plan_cache.invalidate(node)
+            if mirror_stats.changed:
+                entry.undirected.graph = entry.undirected.graph.with_edge_updates(
+                    mirror_stats.applied
+                )
+                entry.undirected._csr = None
+            stats.compactions += mirror_stats.compactions
+        return stats
+
+    @staticmethod
+    def _mirror_batch(
+        applied: list[EdgeUpdate], directed_after: Graph
+    ) -> list[EdgeUpdate]:
+        """Translate applied directed updates for the undirected sibling.
+
+        Inserts always materialise both directions (idempotent when the
+        undirected edge already exists).  A delete removes both directions
+        only when the *post-batch* directed graph holds neither direction --
+        if the reverse edge survives, the undirected edge must too.
+        """
+        mirror: list[EdgeUpdate] = []
+        for update in applied:
+            if update.kind == "insert":
+                mirror.append(update)
+                mirror.append(update.reversed)
+            else:
+                if not directed_after.has_edge(update.target, update.source):
+                    mirror.append(update)
+                    mirror.append(update.reversed)
+        return mirror
 
     # -- lookup ---------------------------------------------------------------
 
@@ -147,7 +325,12 @@ class GraphRegistry:
         )
 
     def undirected_variant(self, entry: RegisteredGraph) -> RegisteredGraph:
-        """The symmetrised sibling of ``entry``, encoded on first use only."""
+        """The symmetrised sibling of ``entry``, encoded on first use only.
+
+        The sibling symmetrises the entry's *current* graph, so a sibling
+        first requested after update batches starts from the mutated
+        topology; later batches are mirrored onto it incrementally.
+        """
         if entry.undirected is None:
             entry.undirected = self._encode(
                 f"{entry.name}#undirected",

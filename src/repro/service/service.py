@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.apps.bc import betweenness_centrality
 from repro.apps.bfs import bfs
 from repro.apps.cc import connected_components
+from repro.dynamic.updates import UpdateStats
 from repro.gpu.device import GPUDevice
 from repro.graph.graph import Graph
 from repro.traversal.gcgt import GCGTConfig
@@ -40,7 +41,20 @@ from repro.service.registry import GraphRegistry, RegisteredGraph
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Aggregate serving statistics across the life of the service."""
+    """Aggregate serving statistics across the life of the service.
+
+    Attributes:
+        graphs_resident: resident entries, undirected siblings included.
+        encode_calls: full-graph CGR encodes the registry ever performed
+            (update batches add none -- that is the dynamic-serving point).
+        queries_served: queries answered since construction.
+        cache_hits / cache_misses / cache_evictions / cache_invalidations:
+            decoded-plan cache counters summed over all resident entries.
+        update_batches: edge-update batches absorbed via
+            :meth:`TraversalService.apply_updates`.
+        edges_inserted / edges_deleted: effective edge mutations applied.
+        compactions: per-node delta-to-CGR folds across all overlays.
+    """
 
     graphs_resident: int
     encode_calls: int
@@ -48,9 +62,15 @@ class ServiceStats:
     cache_hits: int
     cache_misses: int
     cache_evictions: int
+    cache_invalidations: int = 0
+    update_batches: int = 0
+    edges_inserted: int = 0
+    edges_deleted: int = 0
+    compactions: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of plan lookups served from the caches."""
         return hit_rate(self.cache_hits, self.cache_misses)
 
 
@@ -82,6 +102,32 @@ class TraversalService:
     ) -> RegisteredGraph:
         """Encode ``graph`` once and keep it resident under ``name``."""
         return self.registry.register(name, graph, config)
+
+    def apply_updates(self, name: str, updates) -> UpdateStats:
+        """Absorb an edge-update batch into the graph registered as ``name``.
+
+        ``updates`` is a sequence of :class:`~repro.dynamic.EdgeUpdate` (or
+        ``(kind, source, target)`` triples), applied in order through the
+        entry's delta overlay -- the frozen base encode is never rebuilt.
+        Subsequent queries see the mutated graph; answers are identical to
+        re-registering the mutated graph from scratch, at a fraction of the
+        ingest cost.  Returns what the batch actually changed.
+        """
+        return self.registry.apply_updates(name, updates)
+
+    def replace_graph(
+        self,
+        name: str,
+        graph: Graph,
+        config: GCGTConfig | None = None,
+    ) -> RegisteredGraph:
+        """Swap the resident graph under ``name`` for entirely new data.
+
+        For wholesale dataset refreshes where an update stream is not
+        available; pays a full re-encode (see
+        :meth:`~repro.service.GraphRegistry.replace`).
+        """
+        return self.registry.replace(name, graph, config)
 
     # -- serving --------------------------------------------------------------
 
@@ -127,13 +173,15 @@ class TraversalService:
             cache_hits=cache.hits - cache_before.hits,
             cache_misses=cache.misses - cache_before.misses,
             encode_calls=self.registry.encode_calls - encode_before,
+            cache_invalidations=cache.invalidations - cache_before.invalidations,
+            graph_epoch=entry.epoch,
         )
         return QueryResult(query=query, kind=kind, value=value, metrics=metrics)
 
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """Aggregate registry + cache statistics for monitoring."""
+        """Aggregate registry + cache + update statistics for monitoring."""
         entries = self.registry.entries()
         return ServiceStats(
             graphs_resident=len(entries),
@@ -142,6 +190,13 @@ class TraversalService:
             cache_hits=sum(e.plan_cache.hits for e in entries),
             cache_misses=sum(e.plan_cache.misses for e in entries),
             cache_evictions=sum(e.plan_cache.evictions for e in entries),
+            cache_invalidations=sum(
+                e.plan_cache.invalidations for e in entries
+            ),
+            update_batches=self.registry.update_batches,
+            edges_inserted=self.registry.edges_inserted,
+            edges_deleted=self.registry.edges_deleted,
+            compactions=sum(e.overlay.compactions for e in entries),
         )
 
 

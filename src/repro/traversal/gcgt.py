@@ -100,8 +100,15 @@ class PlanCache(Protocol):
     """What an engine needs from a decoded-plan cache (see
     :class:`repro.service.cache.DecodedAdjacencyCache` for the LRU implementation)."""
 
-    def lookup(self, node: int, build: Callable[[], NodePlan]) -> NodePlan:
-        """Return the cached plan for ``node``, building it on a miss."""
+    def lookup(
+        self, node: int, build: Callable[[], NodePlan], epoch: int = 0
+    ) -> NodePlan:
+        """Return the cached plan for ``node``, building it on a miss.
+
+        ``epoch`` is the node's current mutation epoch (always 0 for static
+        graphs); a cached plan from a different epoch is stale and must be
+        rebuilt, never served.
+        """
         ...  # pragma: no cover - protocol
 
 
@@ -151,6 +158,11 @@ class TraversalSession:
         iteration_metrics = engine.device.new_metrics()
         warp = engine.device.new_warp(iteration_metrics)
         out_queue = FrontierQueue()
+        # Dynamic graphs (repro.dynamic.DeltaOverlay) interpose tombstone
+        # suppression between decode and the application filter; static CGR
+        # graphs have no wrap_filter hook and pass the filter through as-is.
+        if engine._filter_wrapper is not None:
+            filter_fn = engine._filter_wrapper(filter_fn)
         ctx = ExpandContext(
             engine.graph, warp, filter_fn, out_queue,
             plan_source=engine.node_plan,
@@ -193,6 +205,13 @@ class GCGTEngine:
         #: Optional LRU cache of decoded :class:`NodePlan` objects shared by
         #: every session on this engine (duck-typed: ``lookup(node, build)``).
         self.plan_cache = plan_cache
+        # Dynamic-graph hooks (repro.dynamic.DeltaOverlay) are fixed for the
+        # engine's lifetime; resolve them once rather than per node visit --
+        # node_plan is the hot path of every traversal.  Plain CGRGraphs
+        # have none, leaving the static fast paths.
+        self._merged_plan_builder = getattr(cgr_graph, "build_node_plan", None)
+        self._node_epoch_of = getattr(cgr_graph, "node_epoch", None)
+        self._filter_wrapper = getattr(cgr_graph, "wrap_filter", None)
         self._default_session = TraversalSession(self)
 
     # -- construction ------------------------------------------------------------
@@ -231,12 +250,23 @@ class GCGTEngine:
         return TraversalSession(self)
 
     def node_plan(self, node: int) -> NodePlan:
-        """Structural decode of ``node``, served from the plan cache if present."""
+        """Decode plan of ``node``, served from the plan cache if present.
+
+        Graphs that maintain per-node deltas (:class:`repro.dynamic.
+        DeltaOverlay`) supply their own merged-plan builder and a per-node
+        mutation epoch; plain :class:`~repro.compression.cgr.CGRGraph`
+        objects fall back to the static structural decode at epoch 0.
+        """
+        merged_builder = self._merged_plan_builder
+        if merged_builder is not None:
+            build: Callable[[], NodePlan] = lambda: merged_builder(node)
+        else:
+            build = lambda: build_node_plan(self.graph, node)
         if self.plan_cache is not None:
-            return self.plan_cache.lookup(
-                node, lambda: build_node_plan(self.graph, node)
-            )
-        return build_node_plan(self.graph, node)
+            epoch_of = self._node_epoch_of
+            epoch = epoch_of(node) if epoch_of is not None else 0
+            return self.plan_cache.lookup(node, build, epoch)
+        return build()
 
     # -- traversal (default-session surface, kept for single-query callers) --------
 
