@@ -1,0 +1,58 @@
+"""Decode-throughput gate: packed-word engine vs the seed list-of-bits path.
+
+The acceptance bar of the packed bit-stream engine: reconstructing every
+adjacency list of the Table-1-style synthetic graphs end-to-end must run at
+least ``DECODE_SPEEDUP_MIN`` times faster through the packed/vectorized
+decode (:meth:`CGRGraph.decode_all`) than through the retained seed
+implementation (:class:`~repro.compression.reference.NaiveCGRDecoder`),
+on bit-identical output.
+
+The threshold defaults to the full 5x gate; the CI perf-smoke job runs this
+file on every PR with ``DECODE_SPEEDUP_MIN=2`` so interpreter-speed
+regressions fail fast without making quick CI hostage to machine noise,
+while the slow-benchmarks job keeps the full bar.
+
+``scripts/record_bench.py`` runs the same measurement and records the
+numbers into ``BENCH_decode.json`` so the perf trajectory is tracked
+across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.decode_bench import (
+    DECODE_BENCH_DATASETS,
+    run_decode_benchmark,
+)
+
+#: Default (full-gate) decode speedup the packed engine must deliver.
+FULL_GATE_SPEEDUP = 5.0
+
+
+def _threshold() -> float:
+    return float(os.environ.get("DECODE_SPEEDUP_MIN", FULL_GATE_SPEEDUP))
+
+
+def test_packed_decode_is_multiples_faster_than_seed_path(run_once):
+    threshold = _threshold()
+    results = run_once(run_decode_benchmark)
+
+    assert [r.dataset for r in results] == list(DECODE_BENCH_DATASETS)
+    # The gate is the aggregate end-to-end throughput over the whole sweep;
+    # additionally no single dataset may fall far behind (per-family numbers
+    # live in BENCH_decode.json for trend tracking).
+    total_packed = sum(r.packed_seconds for r in results)
+    total_naive = sum(r.naive_seconds for r in results)
+    aggregate = total_naive / total_packed
+    assert aggregate >= threshold, (
+        f"aggregate packed decode speedup {aggregate:.1f}x "
+        f"across {len(results)} datasets, need >= {threshold:.1f}x"
+    )
+    for result in results:
+        assert result.edges > 0
+        assert result.speedup >= 0.75 * threshold, (
+            f"{result.dataset}: packed decode {result.packed_edges_per_sec:,.0f}"
+            f" edges/s vs seed {result.naive_edges_per_sec:,.0f} edges/s -- "
+            f"only {result.speedup:.1f}x, need >= {0.75 * threshold:.1f}x"
+        )

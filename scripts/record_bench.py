@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Run the throughput benchmarks and record results into ``BENCH_*.json``.
+
+Each registered benchmark produces one ``BENCH_<name>.json`` file at the
+repository root (graph family, nodes/edges, edges per second, speedup vs the
+retained reference implementation), giving future PRs a committed baseline
+to compare against:
+
+    python scripts/record_bench.py                 # run + write all benchmarks
+    python scripts/record_bench.py --only decode   # a single benchmark
+    python scripts/record_bench.py --check         # verify files exist & parse
+
+``--check`` never re-runs the measurements (they are machine-dependent); it
+verifies the committed files are present and structurally sound so CI can
+keep them from rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def record_decode() -> dict:
+    """The decode-throughput benchmark (see ``repro.bench.decode_bench``)."""
+    from repro.bench.decode_bench import (
+        DECODE_BENCH_SCALE,
+        run_decode_benchmark,
+    )
+
+    results = run_decode_benchmark()
+    return {
+        "benchmark": "decode_throughput",
+        "unit": "edges/second, end-to-end adjacency reconstruction",
+        "baseline": "seed list-of-bits decoder (repro.compression.reference)",
+        "candidate": "packed-word engine (CGRGraph.decode_all)",
+        "scale_nodes": DECODE_BENCH_SCALE,
+        "results": [r.as_row() for r in results],
+        "min_speedup": round(min(r.speedup for r in results), 2),
+        "aggregate_speedup": round(
+            sum(r.naive_seconds for r in results)
+            / sum(r.packed_seconds for r in results),
+            2,
+        ),
+    }
+
+
+#: name -> recorder; each returns the JSON document for BENCH_<name>.json.
+BENCHMARKS = {
+    "decode": record_decode,
+}
+
+
+def bench_path(name: str) -> Path:
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def check(names: list[str]) -> int:
+    status = 0
+    for name in names:
+        path = bench_path(name)
+        if not path.exists():
+            print(f"record-bench: {path.name} missing; run "
+                  f"`python scripts/record_bench.py --only {name}`",
+                  file=sys.stderr)
+            status = 2
+            continue
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"record-bench: {path.name} is not valid JSON: {error}",
+                  file=sys.stderr)
+            status = 2
+            continue
+        if not document.get("results"):
+            print(f"record-bench: {path.name} has no results", file=sys.stderr)
+            status = 2
+            continue
+        print(f"record-bench: {path.name} ok "
+              f"({len(document['results'])} rows, "
+              f"min speedup {document.get('min_speedup')}x)")
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only", choices=sorted(BENCHMARKS), action="append",
+        help="record just this benchmark (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify committed BENCH_*.json files instead of re-measuring",
+    )
+    args = parser.parse_args()
+    names = args.only or sorted(BENCHMARKS)
+
+    if args.check:
+        return check(names)
+
+    for name in names:
+        document = BENCHMARKS[name]()
+        document["machine"] = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        path = bench_path(name)
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        rows = document["results"]
+        print(f"record-bench: wrote {path.name} ({len(rows)} rows)")
+        for row in rows:
+            print(
+                f"  {row['dataset']}: {row['packed_edges_per_sec']:,.0f} e/s "
+                f"packed vs {row['naive_edges_per_sec']:,.0f} e/s seed "
+                f"({row['speedup']}x)"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

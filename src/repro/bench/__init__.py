@@ -17,6 +17,11 @@ from repro.bench.harness import (
     run_gcgt_bfs,
 )
 from repro.bench import figures
+from repro.bench.decode_bench import (
+    DecodeBenchResult,
+    measure_dataset,
+    run_decode_benchmark,
+)
 from repro.bench.reporting import format_table
 
 __all__ = [
@@ -27,4 +32,7 @@ __all__ = [
     "run_gcgt_bfs",
     "figures",
     "format_table",
+    "DecodeBenchResult",
+    "measure_dataset",
+    "run_decode_benchmark",
 ]

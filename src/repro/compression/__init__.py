@@ -8,10 +8,20 @@ Ligra+).
 Layers, bottom-up:
 
 ``bitarray``
-    Bit-granular writer/reader used by every variable-length code.
+    The packed-word bit-stream engine: streams as 64-bit words (MSB-first),
+    word-level field extraction and unary scans, used by every
+    variable-length code.
 ``vlc``
     Variable-length codes: unary, Elias gamma, Elias delta and zeta_k codes
-    (Boldi & Vigna), exactly as described in Appendix B of the paper.
+    (Boldi & Vigna), exactly as described in Appendix B of the paper, plus
+    the bulk run decoders (``decode_gamma_run`` et al.) that decode whole
+    residual runs per call.
+``vectorized``
+    Whole-graph adjacency decode in numpy SIMD rounds (the paper's parallel
+    decode mapped to the CPU); reached through ``CGRGraph.decode_all``.
+``reference``
+    The seed's list-of-bits implementation, retained as the differential
+    baseline for the property suite and the decode-throughput benchmark.
 ``gaps``
     Gap transformation and the sign/minimum shifting rules of Appendix C.
 ``intervals``
@@ -29,13 +39,16 @@ Layers, bottom-up:
     Ligra+ baseline.
 """
 
-from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.bitarray import BitReader, BitWriter, PackedBits
 from repro.compression.vlc import (
     VLC_SCHEMES,
     decode_delta,
+    decode_delta_run,
     decode_gamma,
+    decode_gamma_run,
     decode_unary,
     decode_zeta,
+    decode_zeta_run,
     encode_delta,
     encode_gamma,
     encode_unary,
@@ -61,15 +74,19 @@ from repro.compression.byte_rle import ByteRLEGraph
 __all__ = [
     "BitReader",
     "BitWriter",
+    "PackedBits",
     "VLC_SCHEMES",
     "encode_unary",
     "decode_unary",
     "encode_gamma",
     "decode_gamma",
+    "decode_gamma_run",
     "encode_delta",
     "decode_delta",
+    "decode_delta_run",
     "encode_zeta",
     "decode_zeta",
+    "decode_zeta_run",
     "get_scheme",
     "zigzag_encode",
     "zigzag_decode",

@@ -1,44 +1,122 @@
-"""Bit-granular writer and reader.
+"""Packed-word bit-stream engine.
 
 CGR stores every adjacency list as a stream of variable-length codes packed
 back-to-back with no byte alignment.  The paper's GPU kernels read such
 streams starting at arbitrary bit offsets (``bitStart[u]``); the classes here
 provide exactly that capability for the Python reproduction.
 
+The seed implementation kept one Python ``int`` object **per bit** and walked
+streams bit by bit, which made the interpreter -- not the memory system -- the
+bottleneck of every decode.  This module stores streams as packed 64-bit
+words instead (:class:`PackedBits`): word ``i`` holds stream bits
+``[64*i, 64*i + 64)`` MSB-first, so the bit at absolute offset ``p`` lives in
+word ``p >> 6`` at in-word position ``p & 63`` counted from the most
+significant bit.  All reads are word-level:
+
+* :meth:`PackedBits.extract` fetches an arbitrary MSB-first field with at most
+  ``ceil(width / 64) + 1`` word reads (shifts and masks, no per-bit work);
+* :meth:`PackedBits.scan` finds the next terminator bit of a unary code a
+  word at a time, locating the bit inside the word with ``int.bit_length``
+  (a constant-time leading-zero count);
+* bulk conversions (:meth:`PackedBits.from_bytes`, :meth:`to_bitlist`) go
+  through ``numpy``'s ``frombuffer``/``packbits``/``unpackbits`` instead of
+  per-bit Python loops.
+
 The writer accumulates bits most-significant-bit first, matching the worked
-examples in the paper (Figure 2 and Figure 5) so the unit tests can assert the
-exact bit strings shown there.
+examples in the paper (Figure 2 and Figure 5) so the unit tests can assert
+the exact bit strings shown there: every emitted bit string is identical to
+the seed's, only the storage and the decode cost changed.  The seed
+list-of-bits implementation is retained verbatim in
+:mod:`repro.compression.reference` as the differential baseline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: Bits per storage word.  64 keeps any single VLC code of the scaled graphs
+#: (gaps < 2^32, so codes well under 64 bits) inside at most two words.
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
 
 
-class BitWriter:
-    """Append-only bit buffer.
+class PackedBits:
+    """A bit sequence stored as packed 64-bit words, MSB-first.
 
-    Bits are appended MSB-first.  The finished buffer can be exported either
-    as a ``bytes`` object (zero-padded to a byte boundary) or as a list of
-    integer bits for inspection in tests.
+    The completed prefix lives in ``_words`` (each a full 64-bit int); the
+    trailing partial word lives in an accumulator holding ``_acc_bits < 64``
+    bits right-aligned.  The class supports both appending (the writer
+    surface) and random-access reading (:meth:`extract` / :meth:`scan`), so a
+    finished stream can be handed to readers without a copy -- the CGR graph
+    freezes the writer by convention and :class:`BitReader` walks it in place.
     """
 
+    __slots__ = ("_words", "_acc", "_acc_bits", "_length")
+
     def __init__(self) -> None:
-        self._bits: list[int] = []
+        self._words: list[int] = []
+        self._acc = 0
+        self._acc_bits = 0
+        self._length = 0
 
-    def __len__(self) -> int:
-        return len(self._bits)
+    # -- construction ---------------------------------------------------------
 
-    @property
-    def bit_length(self) -> int:
-        """Number of bits written so far."""
-        return len(self._bits)
+    @classmethod
+    def from_bytes(cls, data: bytes, bit_length: int | None = None) -> "PackedBits":
+        """Bulk-load packed bytes (MSB-first within each byte).
+
+        The byte payload is reinterpreted as big-endian 64-bit words in one
+        ``numpy`` pass -- no per-bit Python loop.  ``bit_length`` truncates
+        trailing padding bits; it is clamped to the available bits.
+        """
+        total_bits = len(data) * 8
+        if bit_length is None or bit_length > total_bits:
+            bit_length = total_bits
+        if bit_length < 0:
+            raise ValueError(f"bit_length must be non-negative, got {bit_length}")
+        obj = cls()
+        if bit_length == 0:
+            return obj
+        padding = -len(data) % 8
+        padded = data + b"\x00" * padding if padding else data
+        words = np.frombuffer(padded, dtype=">u8").tolist()
+        full = bit_length >> 6
+        obj._words = words[:full]
+        rem = bit_length & 63
+        if rem:
+            obj._acc = words[full] >> (WORD_BITS - rem)
+            obj._acc_bits = rem
+        obj._length = bit_length
+        return obj
+
+    @classmethod
+    def from_bitlist(cls, bits: Sequence[int]) -> "PackedBits":
+        """Pack a list of 0/1 integers (``numpy.packbits`` does the work)."""
+        if len(bits) == 0:
+            return cls()
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.ndim != 1 or int(arr.max(initial=0)) > 1:
+            raise ValueError("bits must be a flat sequence of 0/1 integers")
+        return cls.from_bytes(np.packbits(arr).tobytes(), len(bits))
+
+    @classmethod
+    def from_bitstring(cls, text: str) -> "PackedBits":
+        """Pack a string of '0'/'1' characters (other characters are skipped)."""
+        filtered = "".join(c for c in text if c in "01")
+        obj = cls()
+        if filtered:
+            obj.write_bits(int(filtered, 2), len(filtered))
+        return obj
+
+    # -- writer surface -------------------------------------------------------
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         if bit not in (0, 1):
             raise ValueError(f"bit must be 0 or 1, got {bit!r}")
-        self._bits.append(bit)
+        self._append(bit, 1)
 
     def write_bits(self, value: int, width: int) -> None:
         """Append ``width`` bits holding ``value`` MSB-first.
@@ -55,81 +133,249 @@ class BitWriter:
             return
         if value >> width:
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self._bits.append((value >> shift) & 1)
+        self._append(value, width)
 
     def write_unary(self, count: int, terminator: int = 1) -> None:
         """Append ``count`` copies of the non-terminator bit then a terminator.
 
         With the default terminator of 1 this writes ``count`` zeros followed
-        by a one, which is the unary code used by gamma/zeta codes.
+        by a one, which is the unary code used by gamma/zeta codes.  The whole
+        code is appended as one ``count + 1``-bit field, not bit by bit.
         """
-        filler = 1 - terminator
-        self._bits.extend([filler] * count)
-        self._bits.append(terminator)
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if terminator == 1:
+            self._append(1, count + 1)
+        else:
+            self._append(((1 << count) - 1) << 1, count + 1)
 
-    def extend(self, other: "BitWriter") -> None:
-        """Append all bits from another writer."""
-        self._bits.extend(other._bits)
+    def extend(self, other: "PackedBits") -> None:
+        """Append all bits from another packed buffer (word-at-a-time)."""
+        if self._acc_bits == 0:
+            self._words.extend(other._words)
+            self._length = len(self._words) << 6
+        else:
+            append = self._append
+            for word in other._words:
+                append(word, WORD_BITS)
+        if other._acc_bits:
+            self._append(other._acc, other._acc_bits)
 
     def pad_to(self, bit_length: int, fill: int = 0) -> None:
         """Pad with ``fill`` bits until the buffer is ``bit_length`` long."""
-        if bit_length < len(self._bits):
+        missing = bit_length - self._length
+        if missing < 0:
             raise ValueError(
-                f"cannot pad to {bit_length}: already {len(self._bits)} bits"
+                f"cannot pad to {bit_length}: already {self._length} bits"
             )
-        self._bits.extend([fill] * (bit_length - len(self._bits)))
+        if missing:
+            self._append((1 << missing) - 1 if fill else 0, missing)
 
-    def to_bitlist(self) -> list[int]:
-        """Return a copy of the bits as a list of 0/1 integers."""
-        return list(self._bits)
+    def _append(self, value: int, width: int) -> None:
+        """Append a validated MSB-first field, flushing full 64-bit words."""
+        acc = self._acc
+        acc_bits = self._acc_bits
+        words = self._words
+        while width:
+            space = WORD_BITS - acc_bits
+            if width < space:
+                acc = (acc << width) | value
+                acc_bits += width
+                break
+            width -= space
+            words.append((acc << space) | (value >> width))
+            value &= (1 << width) - 1
+            acc = 0
+            acc_bits = 0
+        self._acc = acc
+        self._acc_bits = acc_bits
+        self._length = (len(words) << 6) + acc_bits
 
-    def to_bitstring(self) -> str:
-        """Return the bits as a string of '0'/'1' characters."""
-        return "".join(str(b) for b in self._bits)
+    # -- word-level read primitives -------------------------------------------
+
+    def _word_at(self, index: int) -> int:
+        """Storage word ``index`` with the partial tail zero-padded."""
+        words = self._words
+        if index < len(words):
+            return words[index]
+        if index == len(words) and self._acc_bits:
+            return self._acc << (WORD_BITS - self._acc_bits)
+        return 0
+
+    def extract(self, position: int, width: int) -> int:
+        """Read ``width`` bits MSB-first starting at absolute ``position``.
+
+        Pure word shifts and masks; touches ``ceil(width / 64) + 1`` words at
+        most.  Raises :class:`EOFError` when the field overruns the stream.
+        """
+        if width == 0:
+            return 0
+        end = position + width
+        if position < 0 or end > self._length:
+            raise EOFError(
+                f"need {width} bits at position {position}, "
+                f"only {max(0, self._length - position)} remain"
+            )
+        first = position >> 6
+        last = (end - 1) >> 6
+        if first == last:
+            word = self._word_at(first)
+            return (word >> (((last + 1) << 6) - end)) & ((1 << width) - 1)
+        value = self._word_at(first)
+        for index in range(first + 1, last + 1):
+            value = (value << WORD_BITS) | self._word_at(index)
+        value >>= ((last + 1) << 6) - end
+        return value & ((1 << width) - 1)
+
+    def scan(self, position: int, terminator: int = 1) -> int:
+        """Absolute offset of the first ``terminator`` bit at or after
+        ``position``, or -1 when the stream ends first.
+
+        This is the unary-scan primitive: whole 64-bit words holding no
+        terminator are skipped in one comparison each, and the terminator is
+        located inside its word with ``int.bit_length`` (a constant-time
+        leading-zero count, the role the lookup tables play in the C/CUDA
+        implementations).
+        """
+        length = self._length
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        if position >= length:
+            return -1
+        index = position >> 6
+        last = (length - 1) >> 6
+        word = self._word_at(index)
+        if terminator == 0:
+            word = ~word & _WORD_MASK
+        offset = position & 63
+        if offset:
+            word &= _WORD_MASK >> offset
+        while word == 0:
+            index += 1
+            if index > last:
+                return -1
+            word = self._word_at(index)
+            if terminator == 0:
+                word = ~word & _WORD_MASK
+        found = (index << 6) + (WORD_BITS - word.bit_length())
+        return found if found < length else -1
+
+    # -- sizes and compat accessors -------------------------------------------
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits in the buffer."""
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, position: int) -> int:
+        """The bit at ``position`` (list-of-bits compatibility accessor)."""
+        if position < 0:
+            position += self._length
+        if not 0 <= position < self._length:
+            raise IndexError(f"bit index {position} out of range")
+        return (self._word_at(position >> 6) >> (63 - (position & 63))) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_bitlist())
+
+    # -- exports --------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Pack the bits into bytes, zero-padding the final byte."""
-        out = bytearray((len(self._bits) + 7) // 8)
-        for i, bit in enumerate(self._bits):
-            if bit:
-                out[i >> 3] |= 0x80 >> (i & 7)
+        """Pack the bits into bytes, zero-padding the final byte.
+
+        The full words convert in one numpy pass (no per-word Python work).
+        """
+        out = bytearray(np.array(self._words, dtype=">u8").tobytes())
+        acc_bits = self._acc_bits
+        if acc_bits:
+            nbytes = (acc_bits + 7) >> 3
+            out += (self._acc << ((nbytes << 3) - acc_bits)).to_bytes(nbytes, "big")
         return bytes(out)
 
+    def to_bitlist(self) -> list[int]:
+        """The bits as a list of 0/1 integers (compat shim for tests).
 
-@dataclass
+        Bulk-unpacked with ``numpy.unpackbits`` -- the seed's per-bit loop is
+        gone, but the output is bit-identical.
+        """
+        if self._length == 0:
+            return []
+        unpacked = np.unpackbits(np.frombuffer(self.to_bytes(), dtype=np.uint8))
+        return unpacked[: self._length].tolist()
+
+    def to_bitstring(self) -> str:
+        """The bits as a string of '0'/'1' characters (single bulk format)."""
+        if self._length == 0:
+            return ""
+        value = int.from_bytes(self.to_bytes(), "big") >> (-self._length % 8)
+        return format(value, "b").zfill(self._length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(bit_length={self._length})"
+
+
+class BitWriter(PackedBits):
+    """Append-only bit buffer (the packed-word engine's writer surface).
+
+    Bits are appended MSB-first.  The finished buffer can be exported either
+    as a ``bytes`` object (zero-padded to a byte boundary) or as a list of
+    integer bits for inspection in tests -- and, being a
+    :class:`PackedBits`, it can be read in place by :class:`BitReader`
+    without any conversion, which is how the CGR graph and the dynamic
+    overlay's side stream serve decoders directly from the written words.
+    """
+
+    __slots__ = ()
+
+
+def as_packed(bits) -> PackedBits:
+    """Coerce a bit container to :class:`PackedBits` (no-op when already one).
+
+    Accepts any object with the packed read primitives (``extract``/``scan``)
+    -- returned unchanged -- or a list/tuple of 0/1 integers, which is packed.
+    """
+    if hasattr(bits, "extract") and hasattr(bits, "scan"):
+        return bits
+    return PackedBits.from_bitlist(bits)
+
+
 class BitReader:
-    """Cursor over a bit sequence.
+    """Cursor over a packed bit sequence.
 
     The reader exposes an explicit ``position`` so that callers (the GCGT
     decoding kernels) can jump to the start offset of a node's compressed
     adjacency list and so that the warp-centric decoder can start speculative
     decodes from every bit offset in a window.
+
+    ``bits`` may be a :class:`PackedBits` (or anything exposing its
+    ``extract``/``scan``/``__len__`` read surface, e.g. the dynamic overlay's
+    spliced view), or a plain list of 0/1 integers, which is packed on entry
+    for backwards compatibility with the seed API.
     """
 
-    bits: list[int]
-    position: int = 0
+    __slots__ = ("bits", "position")
+
+    def __init__(self, bits, position: int = 0) -> None:
+        self.bits = as_packed(bits)
+        self.position = position
 
     @classmethod
     def from_writer(cls, writer: BitWriter, position: int = 0) -> "BitReader":
         """Create a reader over the bits accumulated by ``writer``."""
-        return cls(writer.to_bitlist(), position)
+        return cls(writer, position)
 
     @classmethod
     def from_bitstring(cls, text: str, position: int = 0) -> "BitReader":
         """Create a reader from a string of '0'/'1' characters."""
-        return cls([int(c) for c in text if c in "01"], position)
+        return cls(PackedBits.from_bitstring(text), position)
 
     @classmethod
     def from_bytes(cls, data: bytes, bit_length: int | None = None) -> "BitReader":
         """Create a reader from packed bytes (MSB-first within each byte)."""
-        bits: list[int] = []
-        for byte in data:
-            for shift in range(7, -1, -1):
-                bits.append((byte >> shift) & 1)
-        if bit_length is not None:
-            bits = bits[:bit_length]
-        return cls(bits)
+        return cls(PackedBits.from_bytes(data, bit_length))
 
     def __len__(self) -> int:
         return len(self.bits)
@@ -147,7 +393,7 @@ class BitReader:
         """Return the bit under the cursor without advancing."""
         if self.position >= len(self.bits):
             raise EOFError("bit stream exhausted")
-        return self.bits[self.position]
+        return self.bits.extract(self.position, 1)
 
     def read_bit(self) -> int:
         """Return the bit under the cursor and advance by one."""
@@ -160,24 +406,27 @@ class BitReader:
         if width < 0:
             raise ValueError("width must be non-negative")
         if self.position + width > len(self.bits):
+            # Checked here (not just in extract) so that a zero-width read
+            # past the end still raises, exactly like the seed reader.
             raise EOFError(
                 f"need {width} bits at position {self.position}, "
                 f"only {self.remaining} remain"
             )
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.bits[self.position]
-            self.position += 1
+        value = self.bits.extract(self.position, width)
+        self.position += width
         return value
 
     def read_unary(self, terminator: int = 1) -> int:
-        """Read a unary code: the number of bits before the terminator."""
-        count = 0
-        while True:
-            bit = self.read_bit()
-            if bit == terminator:
-                return count
-            count += 1
+        """Read a unary code: the number of bits before the terminator.
+
+        One word-level :meth:`PackedBits.scan` instead of a per-bit loop.
+        """
+        found = self.bits.scan(self.position, terminator)
+        if found < 0:
+            raise EOFError("bit stream exhausted")
+        count = found - self.position
+        self.position = found + 1
+        return count
 
     def seek(self, position: int) -> None:
         """Move the cursor to an absolute bit offset."""
@@ -191,4 +440,7 @@ class BitReader:
         The warp-centric decoder uses forks so that each simulated lane can
         decode speculatively from its own offset without disturbing others.
         """
-        return BitReader(self.bits, self.position if position is None else position)
+        fork = BitReader.__new__(BitReader)
+        fork.bits = self.bits
+        fork.position = self.position if position is None else position
+        return fork

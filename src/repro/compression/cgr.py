@@ -30,9 +30,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.bitarray import BitReader, BitWriter, PackedBits, as_packed
 from repro.compression.gaps import (
     from_vlc_value,
+    gap_decode_vlc_run,
     to_vlc_value,
     zigzag_decode,
     zigzag_encode,
@@ -141,16 +142,21 @@ class CGRGraph:
         self,
         num_nodes: int,
         num_edges: int,
-        bits: list[int],
+        bits: PackedBits | Sequence[int],
         offsets: np.ndarray,
         config: CGRConfig,
     ) -> None:
         self.num_nodes = num_nodes
         self.num_edges = num_edges
-        self.bits = bits
+        #: The compressed stream as packed 64-bit words (a plain list of bits
+        #: is packed on entry for backwards compatibility).
+        self.bits = as_packed(bits)
         self.offsets = offsets
         self.config = config
         self._scheme = config.scheme
+        # Hot-path decode reads one offset per node; plain-int lookups are
+        # several times cheaper than numpy scalar extraction.
+        self._offsets_list: list[int] = [int(v) for v in offsets]
 
     # -- construction -------------------------------------------------------
 
@@ -183,10 +189,11 @@ class CGRGraph:
             num_edges += len(neighbors)
             _encode_node(writer, scheme, config, node, neighbors)
         offsets[len(adjacency)] = writer.bit_length
+        # The writer *is* the packed stream -- no per-bit materialisation.
         return cls(
             num_nodes=len(adjacency),
             num_edges=num_edges,
-            bits=writer.to_bitlist(),
+            bits=writer,
             offsets=offsets,
             config=config,
         )
@@ -238,7 +245,53 @@ class CGRGraph:
         return layout
 
     def neighbors(self, node: int) -> list[int]:
-        """The sorted adjacency list of ``node`` (exact reconstruction)."""
+        """The sorted adjacency list of ``node`` (exact reconstruction).
+
+        This is the serving hot path, so it decodes straight off the packed
+        stream -- headers and interval tuples with small bulk
+        :meth:`~repro.compression.vlc.VLCScheme.decode_run` calls, every
+        residual run with one -- without materialising the
+        :class:`NodeLayout` structure that :meth:`layout` builds for
+        structural consumers.  The output is identical to the layout-based
+        decode (the property suites assert it).
+        """
+        self._check_node(node)
+        make_decoder = self._scheme.stream_decoder
+        if make_decoder is None:
+            # Schemes without a word-window decoder fall back to the
+            # structural decode; identical output, higher cost.
+            return self._neighbors_via_layout(node)
+        decoder = make_decoder(self.bits, self._offsets_list[node])
+        config = self.config
+        result: list[int] = []
+
+        if config.residual_segment_bits is None:
+            degree = from_vlc_value(decoder.run(1)[0])
+            if degree == 0:
+                return result
+            covered = self._decode_interval_nodes(decoder, node, result)
+            remaining = degree - covered
+            if remaining > 0:
+                result.extend(
+                    gap_decode_vlc_run(decoder.run(remaining), node)
+                )
+        else:
+            self._decode_interval_nodes(decoder, node, result)
+            seg_count = from_vlc_value(decoder.run(1)[0])
+            seg_bits = config.residual_segment_bits
+            base = decoder.position
+            for seg_index in range(seg_count):
+                decoder.seek(base + seg_index * seg_bits)
+                res_count = from_vlc_value(decoder.run(1)[0])
+                if res_count > 0:
+                    result.extend(
+                        gap_decode_vlc_run(decoder.run(res_count), node)
+                    )
+        result.sort()
+        return result
+
+    def _neighbors_via_layout(self, node: int) -> list[int]:
+        """Layout-based adjacency reconstruction (slow fallback path)."""
         layout = self.layout(node)
         result: list[int] = []
         for interval in layout.intervals:
@@ -246,6 +299,33 @@ class CGRGraph:
         result.extend(layout.residuals)
         result.sort()
         return result
+
+    def _decode_interval_nodes(self, decoder, node: int, out: list[int]) -> int:
+        """Decode the interval area straight into member node ids.
+
+        Appends every interval's nodes to ``out`` and returns the covered
+        degree.  Mirrors :func:`_decode_intervals` without building
+        :class:`~repro.compression.intervals.Interval` objects.
+        """
+        interval_count = from_vlc_value(decoder.run(1)[0])
+        if interval_count == 0:
+            return 0
+        min_len = self.config.min_interval_length
+        length_shift = 0 if min_len == float("inf") else int(min_len)
+        covered = 0
+        previous_end = node
+        values = decoder.run(2 * interval_count)
+        for index in range(interval_count):
+            gap = from_vlc_value(values[2 * index])
+            length = from_vlc_value(values[2 * index + 1]) + length_shift
+            if index == 0:
+                start = node + zigzag_decode(gap)
+            else:
+                start = previous_end + gap + 1
+            out.extend(range(start, start + length))
+            covered += length
+            previous_end = start + length - 1
+        return covered
 
     def degree(self, node: int) -> int:
         """Out-degree of ``node``."""
@@ -255,6 +335,28 @@ class CGRGraph:
         """Yield every node's adjacency list in node order."""
         for node in range(self.num_nodes):
             yield self.neighbors(node)
+
+    def decode_all(self) -> list[list[int]]:
+        """Every node's sorted adjacency list, decoded graph-at-once.
+
+        Uses the vectorized whole-graph decoder
+        (:mod:`repro.compression.vectorized`): all nodes' streams advance one
+        code per numpy round, so the end-to-end throughput is far above the
+        per-node :meth:`neighbors` loop.  Configurations without a vectorized
+        path fall back to that loop; the output is identical either way.
+        """
+        from repro.compression.vectorized import (
+            VectorizedDecodeUnsupported,
+            decode_adjacency,
+            supports,
+        )
+
+        if supports(self):
+            try:
+                return decode_adjacency(self)
+            except VectorizedDecodeUnsupported:  # pragma: no cover - exotic
+                pass
+        return [self.neighbors(node) for node in range(self.num_nodes)]
 
     # -- statistics ---------------------------------------------------------
 
@@ -491,13 +593,13 @@ def _decode_residual_run(
     count: int,
     out: list[int],
 ) -> None:
-    """Decode ``count`` residual gaps into absolute node ids appended to ``out``."""
-    previous: int | None = None
-    for index in range(count):
-        gap = from_vlc_value(scheme.decode(reader))
-        if index == 0:
-            previous = node + zigzag_decode(gap)
-        else:
-            assert previous is not None
-            previous = previous + gap + 1
-        out.append(previous)
+    """Decode ``count`` residual gaps into absolute node ids appended to ``out``.
+
+    One bulk :meth:`~repro.compression.vlc.VLCScheme.decode_run` call per run
+    -- the whole run's codes are read with word-level scans/extracts -- then
+    one :func:`~repro.compression.gaps.gap_decode_vlc_run` pass turns the raw
+    codes into absolute ids.
+    """
+    if count <= 0:
+        return
+    out.extend(gap_decode_vlc_run(scheme.decode_run(reader, count), node))

@@ -21,6 +21,16 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+__all__ = [
+    "from_vlc_value",
+    "gap_decode_sequence",
+    "gap_decode_vlc_run",
+    "gap_encode_sequence",
+    "to_vlc_value",
+    "zigzag_decode",
+    "zigzag_encode",
+]
+
 
 def zigzag_encode(value: int) -> int:
     """Map a possibly-negative integer to a non-negative one.
@@ -93,3 +103,26 @@ def gap_decode_sequence(gaps: Iterable[int], reference: int) -> list[int]:
             previous = previous + gap + 1
         values.append(previous)
     return values
+
+
+def gap_decode_vlc_run(values: Sequence[int], reference: int) -> list[int]:
+    """Rebuild absolute node ids from one *raw* VLC-decoded residual run.
+
+    The hot-path composition of :func:`from_vlc_value` and
+    :func:`gap_decode_sequence` in a single pass: ``values`` are the codes a
+    scheme's bulk ``decode_run`` produced, still carrying the "+1" shift.
+    The first value is unshifted and zig-zag decoded relative to
+    ``reference``; every follower collapses to ``previous + value`` (undoing
+    the "+1" shift and re-adding the "gaps are at least 1" offset cancel).
+    """
+    ids: list[int] = []
+    previous: int | None = None
+    for value in values:
+        if value < 1:
+            raise ValueError(f"VLC-decoded values are >= 1, got {value}")
+        if previous is None:
+            previous = reference + zigzag_decode(value - 1)
+        else:
+            previous = previous + value
+        ids.append(previous)
+    return ids

@@ -1,0 +1,374 @@
+"""Vectorized whole-graph CGR decode: the paper's parallel decode on numpy.
+
+The paper's GPU kernels hide the inherent serialism of VLC streams by
+decoding *many* streams at once -- one warp per node, one lane per segment.
+This module is the CPU realization of the same idea: instead of walking one
+node's codes with Python-level loops, it advances **every node's stream by
+one code per numpy round**:
+
+* the unary prefix of all active streams is found in one vectorized
+  ``searchsorted`` against the precomputed positions of the stream's one
+  bits (``np.flatnonzero`` over ``np.unpackbits`` output -- the bulk
+  byte-to-bit conversion the packed engine already uses);
+* all payloads are fetched in one gather: an 8-byte window per code, folded
+  into a ``uint64`` and shifted/masked per element;
+* residual gaps are turned back into absolute node ids with one segmented
+  ``cumsum`` over all runs at once (the zig-zag of each run's first gap is
+  applied with a vectorized ``where``).
+
+Residual segments decode as *independent* streams exactly as Section 5.2
+intends, so a graph with ``s`` segments keeps ``s`` lanes busy per round.
+The output is bit-identical to :meth:`CGRGraph.neighbors` -- the property
+and differential suites assert exact equality -- only the throughput
+changes, which is what ``benchmarks/test_decode_throughput.py`` gates.
+
+Scope: gamma and zeta_k streams (the paper's configurations) over plain
+:class:`~repro.compression.cgr.CGRGraph` objects.  Everything else (delta
+codes, overlay views) raises :class:`VectorizedDecodeUnsupported` and the
+caller falls back to the scalar stream decoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+#: Widest payload the vectorized extractor handles per element (an 8-byte
+#: window minus up to 7 bits of in-byte offset).  Wider codes -- absent from
+#: realistic graphs -- are fixed up per element through the packed reader.
+_MAX_VECTOR_WIDTH = 56
+
+#: Below this many active streams a SIMD round costs more than scalar
+#: decoding, so :meth:`_Decoder._decode_runs` hands the stragglers to the
+#: scalar window decoder.
+_SCALAR_TAIL = 48
+
+
+def _zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.compression.gaps.zigzag_decode`."""
+    return np.where(values & 1 == 0, values >> 1, -((values + 1) >> 1))
+
+
+class VectorizedDecodeUnsupported(ValueError):
+    """The graph's configuration has no vectorized decode path."""
+
+
+def supports(graph) -> bool:
+    """Whether :func:`decode_adjacency` can decode ``graph``."""
+    scheme_name = getattr(graph.config, "vlc_scheme", None)
+    if scheme_name != "gamma" and not (
+        isinstance(scheme_name, str) and scheme_name.startswith("zeta")
+    ):
+        return False
+    bits = getattr(graph, "bits", None)
+    return hasattr(bits, "to_bytes") and hasattr(graph, "offsets")
+
+
+def decode_adjacency(graph) -> list[list[int]]:
+    """Decode every node's sorted adjacency list in vectorized rounds.
+
+    Exactly equivalent to ``[graph.neighbors(v) for v in range(n)]``.
+    Raises :class:`VectorizedDecodeUnsupported` for configurations without a
+    vectorized path.
+    """
+    return _Decoder(graph).decode()
+
+
+class _Decoder:
+    """One whole-graph decode pass (transient; holds the unpacked stream)."""
+
+    def __init__(self, graph) -> None:
+        if not supports(graph):
+            raise VectorizedDecodeUnsupported(
+                f"no vectorized decode for scheme "
+                f"{getattr(graph.config, 'vlc_scheme', None)!r} on "
+                f"{type(graph).__name__}"
+            )
+        self._graph = graph
+        scheme_name = graph.config.vlc_scheme
+        self._gamma = scheme_name == "gamma"
+        self._k = 0 if self._gamma else int(scheme_name[4:])
+        self._length = len(graph.bits)
+        payload = graph.bits.to_bytes()
+        data = np.frombuffer(payload + b"\x00" * 16, dtype=np.uint8)
+        # One whole-stream fold up front: ``_folded[b]`` is the big-endian
+        # 64-bit word starting at byte ``b``, so every later payload gather
+        # is a single fancy index plus shift/mask.
+        window_count = len(data) - 7
+        folded = sliding_window_view(data, 8)[:, 0].astype(np.uint64).copy()
+        for column in range(1, 8):
+            folded = (folded << np.uint64(8)) | data[column : column + window_count]
+        self._folded = folded
+        unpacked = np.unpackbits(data[: len(payload)])[: self._length]
+        # Next-one table: ``_next_one[p]`` is the absolute position of the
+        # first 1 bit at or after ``p`` (the unary-scan primitive), built
+        # with one reverse minimum-accumulate so each round's scan is a
+        # single gather instead of a binary search.
+        index = np.arange(self._length + 1, dtype=np.int32)
+        index[:-1][unpacked == 0] = self._length
+        self._next_one = np.minimum.accumulate(index[::-1])[::-1]
+
+    # -- one code per active stream per round ---------------------------------
+
+    def _round(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Decode one code at each of ``positions``; return (values, ends)."""
+        terminators = self._next_one[positions]
+        if terminators.size and int(terminators.max(initial=0)) >= self._length:
+            raise EOFError("bit stream exhausted")
+        zeros = terminators - positions
+        if self._gamma:
+            widths = zeros
+        else:
+            widths = (zeros + 1) * self._k
+        starts = terminators + 1
+        ends = starts + widths
+        if ends.size and int(ends.max(initial=0)) > self._length:
+            raise EOFError("bit stream exhausted")
+        if widths.size and int(widths.max(initial=0)) > 62:
+            raise VectorizedDecodeUnsupported(
+                "code payload wider than 62 bits"
+            )
+        wide = widths > _MAX_VECTOR_WIDTH
+        safe_widths = np.where(wide, 0, widths)
+        values = self._extract(starts, safe_widths)
+        if self._gamma:
+            values = values | np.left_shift(
+                np.int64(1), safe_widths.astype(np.int64)
+            )
+        if wide.any():
+            extract = self._graph.bits.extract
+            for index in np.flatnonzero(wide):
+                width = int(widths[index])
+                value = extract(int(starts[index]), width)
+                if self._gamma:
+                    value |= 1 << width
+                values[index] = value
+        return values, ends
+
+    def _extract(self, starts: np.ndarray, widths: np.ndarray) -> np.ndarray:
+        """Vectorized MSB-first field gather for widths <= 56 bits."""
+        word = self._folded[starts >> 3]
+        u_widths = widths.astype(np.uint64)
+        shifts = np.minimum(
+            np.uint64(64) - (starts & 7).astype(np.uint64) - u_widths,
+            np.uint64(63),
+        )
+        masks = (np.uint64(1) << u_widths) - np.uint64(1)
+        return ((word >> shifts) & masks).astype(np.int64)
+
+    def _decode_runs(
+        self, positions: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode ``counts[i]`` consecutive codes starting at ``positions[i]``.
+
+        All streams advance together, one code per round (streams that
+        finish drop out of the frontier).  Once the frontier shrinks below
+        :data:`_SCALAR_TAIL` streams the SIMD rounds stop paying for
+        themselves, so the stragglers (a hub's long run) are finished with
+        the scalar window decoder, one bulk run each.  Returns the decoded
+        raw values concatenated stream-major (stream 0's codes in order,
+        then stream 1's, ...) and each stream's final end position.
+        """
+        counts = counts.astype(np.int64)
+        final_ends = positions.astype(np.int64).copy()
+        total = int(counts.sum())
+        out = np.empty(total, np.int64)
+        # Each stream writes into its own contiguous slot range, so the
+        # stream-major order falls out of the writes -- no sort needed.
+        slots = np.cumsum(counts) - counts
+        active = np.flatnonzero(counts > 0)
+        cursor = positions[active].astype(np.int64)
+        remaining = counts[active]
+        slot = slots[active]
+        while active.size > _SCALAR_TAIL:
+            values, ends = self._round(cursor)
+            out[slot] = values
+            slot = slot + 1
+            remaining = remaining - 1
+            done = remaining == 0
+            if done.any():
+                final_ends[active[done]] = ends[done]
+            keep = ~done
+            active = active[keep]
+            cursor = ends[keep]
+            remaining = remaining[keep]
+            slot = slot[keep]
+        if active.size:
+            make_decoder = self._graph.config.scheme.stream_decoder
+            source = self._graph.bits
+            for stream, start, count, begin in zip(
+                active.tolist(), cursor.tolist(),
+                remaining.tolist(), slot.tolist(),
+            ):
+                decoder = make_decoder(source, start)
+                out[begin : begin + count] = decoder.run(count)
+                final_ends[stream] = decoder.position
+        return out, final_ends
+
+    # -- gap postprocessing ---------------------------------------------------
+
+    @staticmethod
+    def _runs_to_ids(
+        values: np.ndarray, run_nodes: np.ndarray, run_lengths: np.ndarray
+    ) -> np.ndarray:
+        """Absolute node ids from concatenated raw residual-gap runs.
+
+        One segmented cumulative sum: each run's first value is un-shifted
+        and zig-zag decoded against its source node; every follower's id is
+        simply ``previous + value`` (the "+1" shift and the "gaps are at
+        least 1" offset cancel).
+        """
+        if values.size == 0:
+            return values
+        if int(values.min()) < 1:
+            raise ValueError("VLC-decoded values are >= 1")
+        starts = np.cumsum(run_lengths) - run_lengths
+        contrib = values.copy()
+        contrib[starts] = run_nodes + _zigzag_decode(values[starts] - 1)
+        running = np.cumsum(contrib)
+        start_of = np.repeat(starts, run_lengths)
+        return running - running[start_of] + contrib[start_of]
+
+    # -- full decode ----------------------------------------------------------
+
+    def decode(self) -> list[list[int]]:
+        graph = self._graph
+        node_count = int(len(graph.offsets)) - 1
+        if node_count <= 0:
+            return []
+        nodes = np.arange(node_count, dtype=np.int64)
+        cursor = np.asarray(graph.offsets[:-1], dtype=np.int64).copy()
+        config = graph.config
+        min_len = config.min_interval_length
+        length_shift = 0 if min_len == float("inf") else int(min_len)
+        segmented = config.residual_segment_bits is not None
+
+        if segmented:
+            active = nodes
+            degrees = None
+        else:
+            raw_deg, ends = self._round(cursor)
+            degrees = raw_deg - 1
+            if int(degrees.min(initial=0)) < 0:
+                raise ValueError("VLC-decoded values are >= 1")
+            active = np.flatnonzero(degrees > 0)
+            cursor[active] = ends[active]
+
+        # Interval headers: itvNum for every live node, then 2*itvNum codes.
+        itv_raw, ends = self._round(cursor[active])
+        itv_counts = np.zeros(node_count, np.int64)
+        itv_counts[active] = itv_raw - 1
+        if int(itv_counts.min(initial=0)) < 0:
+            raise ValueError("VLC-decoded values are >= 1")
+        cursor[active] = ends
+        pair_values, pair_ends = self._decode_runs(
+            cursor[active], 2 * itv_counts[active]
+        )
+        cursor[active] = pair_ends
+
+        # Interval geometry, vectorized: the start-position chain
+        # ``start_i = start_{i-1} + length_{i-1} + gap_i`` collapses to one
+        # segmented cumsum per node (with the first start zig-zag decoded
+        # against the node), mirroring :meth:`_runs_to_ids`.
+        gap_raw = pair_values[0::2]
+        length_raw = pair_values[1::2]
+        if gap_raw.size and (
+            int(gap_raw.min()) < 1 or int(length_raw.min()) < 1
+        ):
+            raise ValueError("VLC-decoded values are >= 1")
+        lengths = length_raw - 1 + length_shift
+        itv_live = itv_counts[active] > 0
+        itv_runs = itv_counts[active][itv_live]
+        itv_owner_first = active[itv_live]
+        run_starts = np.cumsum(itv_runs) - itv_runs
+        contrib = gap_raw - 1
+        contrib[1:] += lengths[:-1]
+        contrib[run_starts] = itv_owner_first + _zigzag_decode(
+            gap_raw[run_starts] - 1
+        )
+        running = np.cumsum(contrib)
+        start_of = np.repeat(run_starts, itv_runs)
+        interval_starts = running - running[start_of] + contrib[start_of]
+        coverage = np.bincount(
+            np.repeat(itv_owner_first, itv_runs),
+            weights=lengths,
+            minlength=node_count,
+        ).astype(np.int64)
+
+        # Residual runs: per segment (segmented) or one per node.
+        if segmented:
+            seg_raw, ends = self._round(cursor[active])
+            seg_counts = seg_raw - 1
+            if int(seg_counts.min(initial=0)) < 0:
+                raise ValueError("VLC-decoded values are >= 1")
+            cursor[active] = ends
+            seg_bits = int(config.residual_segment_bits)
+            total_segments = int(seg_counts.sum())
+            seg_owner = np.repeat(active, seg_counts)
+            first_of_owner = np.cumsum(seg_counts) - seg_counts
+            seg_index = (
+                np.arange(total_segments, dtype=np.int64)
+                - np.repeat(first_of_owner, seg_counts)
+            )
+            seg_positions = np.repeat(cursor[active], seg_counts) + (
+                seg_index * seg_bits
+            )
+            res_raw, res_ends = self._round(seg_positions)
+            res_counts = res_raw - 1
+            if int(res_counts.min(initial=0)) < 0:
+                raise ValueError("VLC-decoded values are >= 1")
+            run_positions = res_ends
+            run_owner_nodes = seg_owner
+        else:
+            res_counts = np.maximum(degrees - coverage, 0)[active]
+            run_positions = cursor[active]
+            run_owner_nodes = active
+
+        live_runs = res_counts > 0
+        run_values, _ = self._decode_runs(run_positions, res_counts)
+        residual_ids = self._runs_to_ids(
+            run_values,
+            run_owner_nodes[live_runs],
+            res_counts[live_runs],
+        )
+
+        # Stitch the final adjacency lists.  A node's residuals are already
+        # sorted (runs are increasing and segments partition the sorted
+        # residual list in order), so interval-free nodes need no sort.
+        per_node_res = np.bincount(
+            run_owner_nodes, weights=res_counts, minlength=node_count
+        ).astype(np.int64)
+        res_bounds = np.cumsum(per_node_res).tolist()
+        itv_bounds = np.cumsum(itv_counts).tolist()
+        residual_list = residual_ids.tolist()
+        starts_list = interval_starts.tolist()
+        lengths_list = lengths.tolist()
+        result: list[list[int]] = []
+        res_begin = 0
+        itv_begin = 0
+        for node_index in range(node_count):
+            res_end = res_bounds[node_index]
+            itv_end = itv_bounds[node_index]
+            if itv_begin == itv_end:
+                result.append(residual_list[res_begin:res_end])
+            else:
+                merged: list[int] = []
+                for index in range(itv_begin, itv_end):
+                    start = starts_list[index]
+                    merged.extend(range(start, start + lengths_list[index]))
+                if res_begin != res_end:
+                    merged.extend(residual_list[res_begin:res_end])
+                    merged.sort()
+                # Intervals are increasing and disjoint, so without
+                # residuals the concatenation is already sorted.
+                result.append(merged)
+            itv_begin = itv_end
+            res_begin = res_end
+        return result
+
+
+__all__ = [
+    "VectorizedDecodeUnsupported",
+    "decode_adjacency",
+    "supports",
+]

@@ -36,9 +36,9 @@ so a stale plan can never be served even if explicit invalidation is skipped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator
 
-from repro.compression.bitarray import BitReader, BitWriter
+from repro.compression.bitarray import BitReader, BitWriter, PackedBits
 from repro.compression.cgr import CGRGraph, encode_node_adjacency
 from repro.compression.gaps import to_vlc_value, zigzag_encode
 from repro.dynamic.compaction import CompactionPolicy
@@ -62,13 +62,17 @@ class SplicedBits:
 
     Bit offsets below ``len(base)`` resolve into the frozen base stream;
     offsets at or above it resolve into the overlay's append-only side
-    stream.  The object is index/length compatible with the ``list[int]``
-    the :class:`~repro.compression.bitarray.BitReader` walks, so every
-    existing decoder -- including the warp-centric speculative decoder --
-    reads overlay data without modification.
+    stream.  The view implements the packed read surface
+    (:meth:`extract` / :meth:`scan`) of
+    :class:`~repro.compression.bitarray.PackedBits` by delegating to the two
+    underlying packed buffers -- stitching fields that straddle the splice
+    boundary from both halves -- so every word-level decoder, including the
+    warp-centric speculative decoder and the bulk VLC run API, reads overlay
+    data at full speed without modification.  Per-bit indexing is kept for
+    compatibility with the seed's list-of-bits surface.
     """
 
-    def __init__(self, base: Sequence[int], side: list[int]) -> None:
+    def __init__(self, base: "PackedBits", side: "PackedBits") -> None:
         self._base = base
         self._base_length = len(base)
         self._side = side
@@ -80,6 +84,34 @@ class SplicedBits:
         if index < self._base_length:
             return self._base[index]
         return self._side[index - self._base_length]
+
+    def extract(self, position: int, width: int) -> int:
+        """Read ``width`` bits MSB-first at ``position`` across the splice."""
+        boundary = self._base_length
+        end = position + width
+        if end <= boundary:
+            return self._base.extract(position, width)
+        if position >= boundary:
+            return self._side.extract(position - boundary, width)
+        low_width = end - boundary
+        if low_width > len(self._side):
+            raise EOFError(
+                f"need {width} bits at position {position}, "
+                f"only {len(self) - position} remain"
+            )
+        high = self._base.extract(position, boundary - position)
+        return (high << low_width) | self._side.extract(0, low_width)
+
+    def scan(self, position: int, terminator: int = 1) -> int:
+        """First ``terminator`` bit at or after ``position``; -1 at stream end."""
+        boundary = self._base_length
+        if position < boundary:
+            found = self._base.scan(position, terminator)
+            if found >= 0:
+                return found
+            position = boundary
+        found = self._side.scan(position - boundary, terminator)
+        return found + boundary if found >= 0 else -1
 
 
 @dataclass
@@ -175,7 +207,9 @@ class DeltaOverlay:
         self.policy = policy or CompactionPolicy()
         self.num_nodes = base.num_nodes
         self._num_edges = base.num_edges
-        self._side: list[int] = []
+        #: Append-only packed side stream; compacted extents and encoded
+        #: insert runs land here, word-aligned appends only.
+        self._side = BitWriter()
         self._bits = SplicedBits(base.bits, self._side)
         self._deltas: dict[int, NodeDelta] = {}
         self._extents: dict[int, _Extent] = {}
@@ -474,7 +508,7 @@ class DeltaOverlay:
             old.bit_length if old is not None else self.base.node_bit_length(node)
         )
         start = len(self._bits)
-        self._side.extend(writer.to_bitlist())
+        self._side.extend(writer)
         self._extents[node] = _Extent(
             start_bit=start, bit_length=writer.bit_length, degree=len(merged)
         )
@@ -597,7 +631,7 @@ class DeltaOverlay:
             relative.append((neighbor, start, writer.bit_length - start))
             previous = neighbor
         offset = len(self._bits)
-        self._side.extend(writer.to_bitlist())
+        self._side.extend(writer)
         segment = ResidualSegmentPlan(
             data_start_bit=offset + count_bits,
             count=len(ordered),

@@ -72,6 +72,10 @@ class QueryMetrics:
         graph_epoch: the served graph's mutation epoch at answer time (0 for
             never-updated graphs); lets clients correlate answers with the
             update stream.
+        cache_miss_decode_ns: wall-clock nanoseconds this query spent
+            decoding node plans on cache misses -- the real host-side cost
+            of the packed bit-stream engine, observable per query (0 for a
+            fully warm cache).
     """
 
     cost: float
@@ -82,6 +86,7 @@ class QueryMetrics:
     encode_calls: int
     cache_invalidations: int = 0
     graph_epoch: int = 0
+    cache_miss_decode_ns: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

@@ -50,6 +50,8 @@ class ServiceStats:
         queries_served: queries answered since construction.
         cache_hits / cache_misses / cache_evictions / cache_invalidations:
             decoded-plan cache counters summed over all resident entries.
+        cache_miss_decode_ns: total wall-clock nanoseconds spent decoding
+            node plans on cache misses, summed over all resident entries.
         update_batches: edge-update batches absorbed via
             :meth:`TraversalService.apply_updates`.
         edges_inserted / edges_deleted: effective edge mutations applied.
@@ -67,6 +69,7 @@ class ServiceStats:
     edges_inserted: int = 0
     edges_deleted: int = 0
     compactions: int = 0
+    cache_miss_decode_ns: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -175,6 +178,9 @@ class TraversalService:
             encode_calls=self.registry.encode_calls - encode_before,
             cache_invalidations=cache.invalidations - cache_before.invalidations,
             graph_epoch=entry.epoch,
+            cache_miss_decode_ns=(
+                cache.miss_decode_ns - cache_before.miss_decode_ns
+            ),
         )
         return QueryResult(query=query, kind=kind, value=value, metrics=metrics)
 
@@ -197,6 +203,9 @@ class TraversalService:
             edges_inserted=self.registry.edges_inserted,
             edges_deleted=self.registry.edges_deleted,
             compactions=sum(e.overlay.compactions for e in entries),
+            cache_miss_decode_ns=sum(
+                e.plan_cache.miss_decode_ns for e in entries
+            ),
         )
 
 

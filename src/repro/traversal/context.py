@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.compression.cgr import CGRGraph
+from repro.compression.gaps import gap_decode_vlc_run
 from repro.compression.intervals import Interval
 from repro.gpu.warp import Warp
 from repro.traversal.cursor import CGRCursor
@@ -133,21 +134,26 @@ def build_node_plan(graph: CGRGraph, node: int) -> NodePlan:
 def _predecode_residual_run(
     cursor: CGRCursor, source: int, count: int
 ) -> tuple[tuple[int, int, int], ...]:
-    """Walk ``count`` residual gaps once, recording value and bit extent.
+    """Decode ``count`` residual gaps once, recording value and bit extent.
 
     ``cursor`` must sit on the first gap; it is advanced past the run (which
     is harmless for every caller -- nothing of the node's layout follows a
-    residual run in its segment).
+    residual run in its segment).  The whole run is read with one bulk
+    :meth:`~repro.compression.vlc.VLCScheme.decode_run_positions` call --
+    word-level scans and extracts instead of per-bit loops -- and each code's
+    bit extent is reconstructed from the returned end offsets, so the decode
+    rounds the strategies charge are byte-for-byte what the seed charged.
     """
+    if count <= 0:
+        return ()
+    reader = cursor.reader
+    previous_end = reader.position
+    values, ends = cursor.scheme.decode_run_positions(reader, count)
+    ids = gap_decode_vlc_run(values, source)
     decoded: list[tuple[int, int, int]] = []
-    previous: int | None = None
-    for _ in range(count):
-        start = cursor.position
-        if previous is None:
-            previous, bits = cursor.decode_signed_gap(source)
-        else:
-            previous, bits = cursor.decode_following_gap(previous)
-        decoded.append((previous, start, bits))
+    for neighbor, end in zip(ids, ends):
+        decoded.append((neighbor, previous_end, end - previous_end))
+        previous_end = end
     return tuple(decoded)
 
 

@@ -77,15 +77,19 @@ def parallel_vlc_decode(
     values: list[int | None] = [None] * warp_size
     # ``positions[i]``: offset (relative to the window start) of the first bit
     # after the code decoded from offset ``i``; window-or-beyond when invalid.
+    # Each lane's speculative decode is one bulk ``decode_run_positions``
+    # call: a word-level unary scan plus one field extract against the packed
+    # stream, never a per-bit walk.
     positions: list[int] = [warp_size] * warp_size
+    decode_run_positions = scheme.decode_run_positions
     for lane in range(warp_size):
         fork = reader.fork(base + lane)
         try:
-            value = scheme.decode(fork)
+            lane_values, lane_ends = decode_run_positions(fork, 1)
         except (EOFError, ValueError):
             continue
-        values[lane] = value
-        positions[lane] = fork.position - base
+        values[lane] = lane_values[0]
+        positions[lane] = lane_ends[0] - base
 
     # Pointer-jumping marking pass (Algorithm 4, lines 9-15): every round,
     # each already-marked lane marks the lane its pointer designates, and

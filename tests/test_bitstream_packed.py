@@ -1,0 +1,290 @@
+"""Property suite: the packed bit-stream engine vs the retained seed reader.
+
+Every property round-trips random data through the packed-word
+implementation (:mod:`repro.compression.bitarray`) *and* the seed's
+list-of-bits implementation retained in :mod:`repro.compression.reference`,
+asserting exact equality of emitted bits, decoded values and cursor
+positions.  The packed engine is allowed to be faster, never different.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.bitarray import BitReader, BitWriter, PackedBits
+from repro.compression.reference import (
+    NaiveBitReader,
+    NaiveBitWriter,
+    NaiveCGRDecoder,
+)
+from repro.compression.cgr import CGRConfig, CGRGraph
+from repro.compression.vlc import VLC_SCHEMES, get_scheme
+from repro.dynamic.overlay import SplicedBits
+
+bits_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=400)
+scheme_names = st.sampled_from(sorted(VLC_SCHEMES))
+
+
+# ---------------------------------------------------------------------------
+# Writer equivalence: identical emitted bit strings
+# ---------------------------------------------------------------------------
+
+#: One random writer operation: (kind, payload...) tuples applied to both
+#: writer implementations in lockstep.
+write_ops = st.one_of(
+    st.tuples(st.just("bit"), st.integers(0, 1)),
+    st.tuples(
+        st.just("bits"),
+        st.integers(min_value=0, max_value=2**70 - 1),
+        st.integers(min_value=0, max_value=90),
+    ),
+    st.tuples(st.just("unary"), st.integers(0, 150), st.integers(0, 1)),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(write_ops, max_size=60))
+def test_writers_emit_identical_bits(ops):
+    packed, naive = BitWriter(), NaiveBitWriter()
+    for op in ops:
+        if op[0] == "bit":
+            packed.write_bit(op[1])
+            naive.write_bit(op[1])
+        elif op[0] == "bits":
+            _, value, width = op
+            value &= (1 << width) - 1 if width else 0
+            packed.write_bits(value, width)
+            naive.write_bits(value, width)
+        else:
+            _, count, terminator = op
+            packed.write_unary(count, terminator)
+            naive.write_unary(count, terminator)
+    assert packed.bit_length == naive.bit_length
+    assert packed.to_bitstring() == naive.to_bitstring()
+    assert packed.to_bitlist() == naive.to_bitlist()
+    assert packed.to_bytes() == naive.to_bytes()
+
+
+@settings(max_examples=100, deadline=None)
+@given(bits_lists, st.integers(0, 500), st.integers(0, 1))
+def test_pad_to_and_extend_match(bits, pad, fill):
+    packed, naive = BitWriter(), NaiveBitWriter()
+    for bit in bits:
+        packed.write_bit(bit)
+        naive.write_bit(bit)
+    target = len(bits) + pad
+    packed.pad_to(target, fill)
+    naive.pad_to(target, fill)
+    other_p, other_n = BitWriter(), NaiveBitWriter()
+    other_p.write_bits(0b1011, 4)
+    other_n.write_bits(0b1011, 4)
+    packed.extend(other_p)
+    naive.extend(other_n)
+    assert packed.to_bitstring() == naive.to_bitstring()
+
+
+# ---------------------------------------------------------------------------
+# Reader equivalence: values and cursor positions, arbitrary offsets
+# ---------------------------------------------------------------------------
+
+#: One random reader operation applied to both readers in lockstep.
+read_ops = st.one_of(
+    st.tuples(st.just("bit")),
+    st.tuples(st.just("bits"), st.integers(0, 70)),
+    st.tuples(st.just("unary"), st.integers(0, 1)),
+    st.tuples(st.just("seek"), st.integers(0, 500)),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(bits_lists, st.lists(read_ops, max_size=30), st.integers(0, 400))
+def test_readers_agree_on_values_positions_and_errors(bits, ops, start):
+    start = min(start, len(bits))
+    packed = BitReader(PackedBits.from_bitlist(bits), start)
+    naive = NaiveBitReader(list(bits), start)
+    assert len(packed) == len(naive)
+    for op in ops:
+        outcomes = []
+        for reader in (packed, naive):
+            try:
+                if op[0] == "bit":
+                    outcomes.append(("ok", reader.read_bit()))
+                elif op[0] == "bits":
+                    outcomes.append(("ok", reader.read_bits(op[1])))
+                elif op[0] == "unary":
+                    outcomes.append(("ok", reader.read_unary(op[1])))
+                else:
+                    reader.seek(op[1])
+                    outcomes.append(("ok", None))
+            except EOFError:
+                outcomes.append(("eof", None))
+        assert outcomes[0] == outcomes[1]
+        if outcomes[0][0] == "ok":
+            # Positions only have to agree while no error occurred (the
+            # packed reader does not consume bits on a failed read).
+            assert packed.position == naive.position
+            assert packed.remaining == naive.remaining
+            assert packed.exhausted() == naive.exhausted()
+        else:
+            packed.seek(naive.position if naive.position <= len(bits) else 0)
+            naive.seek(packed.position)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=64), st.integers(0, 600))
+def test_from_bytes_matches_seed_bit_expansion(data, bit_length):
+    packed = BitReader.from_bytes(data, bit_length)
+    naive = NaiveBitReader.from_bytes(data, bit_length)
+    assert len(packed) == len(naive)
+    assert packed.bits.to_bitlist() == naive.bits
+
+
+@given(bits_lists)
+def test_bitlist_and_bitstring_round_trip(bits):
+    packed = PackedBits.from_bitlist(bits)
+    assert packed.to_bitlist() == bits
+    text = "".join(str(b) for b in bits)
+    assert packed.to_bitstring() == text
+    assert PackedBits.from_bitstring(text).to_bitlist() == bits
+    assert [packed[i] for i in range(len(bits))] == bits
+
+
+# ---------------------------------------------------------------------------
+# VLC schemes: packed decode == seed decode, values and cursors
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=2**40), min_size=1, max_size=40),
+    scheme_names,
+    st.integers(0, 8),
+)
+def test_all_schemes_decode_identically_on_both_readers(values, name, junk):
+    scheme = get_scheme(name)
+    writer = BitWriter()
+    for value in values:
+        scheme.encode(writer, value)
+    # Trailing junk bits must not disturb decoding.
+    writer.write_bits((1 << junk) - 1, junk)
+
+    packed = BitReader.from_writer(writer)
+    naive = NaiveBitReader(writer.to_bitlist())
+    for value in values:
+        assert scheme.decode(packed) == value
+        assert scheme.decode(naive) == value
+        assert packed.position == naive.position
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=2**40), min_size=1, max_size=40),
+    scheme_names,
+)
+def test_bulk_decode_run_matches_serial_decode(values, name):
+    scheme = get_scheme(name)
+    writer = BitWriter()
+    for value in values:
+        scheme.encode(writer, value)
+
+    bulk_reader = BitReader.from_writer(writer)
+    decoded, ends = scheme.decode_run_positions(bulk_reader, len(values))
+    assert decoded == values
+    assert bulk_reader.position == ends[-1] == writer.bit_length
+
+    serial_reader = BitReader.from_writer(writer)
+    serial_ends = []
+    for value in values:
+        assert scheme.decode(serial_reader) == value
+        serial_ends.append(serial_reader.position)
+    assert ends == serial_ends
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=2**30), min_size=1, max_size=30),
+    scheme_names,
+    st.integers(1, 5),
+)
+def test_stream_decoder_seek_and_run_chunks(values, name, chunk):
+    scheme = get_scheme(name)
+    writer = BitWriter()
+    for value in values:
+        scheme.encode(writer, value)
+    decoder = scheme.stream_decoder(writer, 0)
+    out = []
+    while len(out) < len(values):
+        out.extend(decoder.run(min(chunk, len(values) - len(out))))
+    assert out == values
+    # Seeking back to the start replays the stream identically.
+    decoder.seek(0)
+    assert decoder.run(len(values)) == values
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=2**20), min_size=1, max_size=20),
+    st.lists(st.integers(min_value=1, max_value=2**20), min_size=1, max_size=20),
+    scheme_names,
+)
+def test_spliced_bits_decode_across_the_boundary(base_values, side_values, name):
+    """A code sequence straddling a base/side splice decodes exactly."""
+    scheme = get_scheme(name)
+    base_writer, side_writer = BitWriter(), BitWriter()
+    reference_writer = BitWriter()
+    for value in base_values:
+        scheme.encode(base_writer, value)
+        scheme.encode(reference_writer, value)
+    for value in side_values:
+        scheme.encode(side_writer, value)
+        scheme.encode(reference_writer, value)
+
+    spliced = SplicedBits(base_writer, side_writer)
+    assert len(spliced) == reference_writer.bit_length
+    reader = BitReader(spliced)
+    reference = BitReader.from_writer(reference_writer)
+    for value in base_values + side_values:
+        assert scheme.decode(reader) == value
+        assert scheme.decode(reference) == value
+        assert reader.position == reference.position
+    # Bulk runs work through the splice too.
+    reader.seek(0)
+    assert scheme.decode_run(reader, len(base_values) + len(side_values)) == (
+        base_values + side_values
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-graph decode: packed + vectorized vs the seed decoder
+# ---------------------------------------------------------------------------
+
+adjacency_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=59), max_size=12),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    adjacency_strategy,
+    st.sampled_from(["gamma", "zeta2", "zeta3", "delta"]),
+    st.sampled_from([None, 64, 256]),
+)
+def test_graph_decode_matches_seed_decoder(adjacency, scheme, segment_bits):
+    config = CGRConfig(vlc_scheme=scheme, residual_segment_bits=segment_bits)
+    graph = CGRGraph.from_adjacency(adjacency, config)
+    seed = NaiveCGRDecoder.from_graph(graph)
+    expected = seed.decode_all()
+    assert [graph.neighbors(node) for node in range(graph.num_nodes)] == expected
+    assert graph.decode_all() == expected
+
+
+def test_packed_bits_rejects_non_binary_input():
+    with pytest.raises(ValueError):
+        PackedBits.from_bitlist([0, 2, 1])
+
+
+def test_reader_accepts_plain_bit_lists_as_before():
+    reader = BitReader([1, 0, 1, 1])
+    assert reader.read_bits(4) == 0b1011

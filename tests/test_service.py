@@ -249,6 +249,28 @@ class TestCacheBehaviourThroughService:
         # The resident engine's default session stayed untouched.
         assert entry.engine.metrics.instruction_rounds == 0
 
+    def test_cache_miss_decode_ns_attributed_per_query(self, three_graphs):
+        service = TraversalService()
+        entry = service.register_graph("web", three_graphs["web"])
+        cold, warm = service.submit([BFSQuery("web", 0), BFSQuery("web", 0)])
+        # The cold query decoded plans on its misses and the wall-clock cost
+        # of that work is surfaced on its metrics.
+        assert cold.metrics.cache_misses > 0
+        assert cold.metrics.cache_miss_decode_ns > 0
+        # The warm query hit the cache for every plan: no decode time.
+        assert warm.metrics.cache_misses == 0
+        assert warm.metrics.cache_miss_decode_ns == 0
+        # Per-query attribution sums to the cache's cumulative counter, which
+        # the aggregate service stats expose as well.
+        assert (
+            cold.metrics.cache_miss_decode_ns
+            == entry.plan_cache.miss_decode_ns
+        )
+        assert (
+            service.stats().cache_miss_decode_ns
+            >= cold.metrics.cache_miss_decode_ns
+        )
+
 
 # ---------------------------------------------------------------------------
 # Throughput: the point of the serving layer
