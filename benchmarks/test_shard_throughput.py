@@ -1,0 +1,70 @@
+"""Shard-throughput gate: superstep scatter-gather vs the unsharded engine.
+
+The acceptance bar of the sharded execution tier: BFS over the large
+synthetic families must run at least ``SHARD_SPEEDUP_MIN`` (default 2x)
+faster at 4 workers -- one per shard -- than the single resident engine,
+on bit-identical levels and iteration counts.
+
+Speedup is measured on the repository's standard elapsed-time currency, the
+simulated device cost model: the unsharded run's total cost against the
+sharded run's superstep critical path (per superstep only the slowest shard
+is charged; the barrier is the frontier exchange).  This keeps the gate
+deterministic on any CI host -- wall-clock scaling additionally depends on
+the runner's core count, so the wall-clock seconds of both paths are
+recorded in ``BENCH_shard.json`` (with the host's ``cpu_count``) for
+transparency rather than gated.
+
+``scripts/record_bench.py --only shard`` runs the same measurement and
+records the numbers into ``BENCH_shard.json`` so the scaling trajectory is
+tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.shard_bench import (
+    SHARD_BENCH_DATASETS,
+    SHARD_BENCH_WORKERS,
+    run_shard_benchmark,
+)
+
+#: Default speedup the sharded tier must deliver at 4 workers.
+FULL_GATE_SPEEDUP = 2.0
+
+
+def _threshold() -> float:
+    return float(os.environ.get("SHARD_SPEEDUP_MIN", FULL_GATE_SPEEDUP))
+
+
+def test_sharded_bfs_speedup_at_four_workers(run_once):
+    threshold = _threshold()
+    results = run_once(run_shard_benchmark)
+
+    assert [r.dataset for r in results] == list(SHARD_BENCH_DATASETS)
+    # The gate is the aggregate modelled speedup over the whole sweep; no
+    # single dataset may fall far behind (per-family numbers live in
+    # BENCH_shard.json for trend tracking).
+    total_unsharded = sum(r.unsharded_elapsed for r in results)
+    total_critical = sum(r.sharded_critical_elapsed for r in results)
+    aggregate = total_unsharded / total_critical
+    assert aggregate >= threshold, (
+        f"aggregate sharded speedup {aggregate:.1f}x at "
+        f"{SHARD_BENCH_WORKERS} workers across {len(results)} datasets, "
+        f"need >= {threshold:.1f}x"
+    )
+    for result in results:
+        assert result.shards == SHARD_BENCH_WORKERS
+        assert result.exchange_messages > 0
+        assert result.supersteps > 0
+        assert result.speedup >= 0.75 * threshold, (
+            f"{result.dataset}: sharded critical path only "
+            f"{result.speedup:.1f}x faster, need >= {0.75 * threshold:.1f}x"
+        )
+        # The parallelism claim must come from shard concurrency, not from a
+        # cheaper serial schedule alone: the critical path must sit well
+        # below the sharded run's own total work too.
+        assert result.shard_concurrency >= 0.5 * SHARD_BENCH_WORKERS, (
+            f"{result.dataset}: only {result.shard_concurrency:.1f}x of the "
+            f"sharded work overlaps across {result.shards} shards"
+        )

@@ -41,6 +41,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.service",
     "repro.dynamic",
+    "repro.shard",
     "repro.bench",
 ]
 
@@ -102,6 +103,12 @@ def describe_data(obj) -> str:
     if isinstance(obj, dict):
         keys = ", ".join(f"`{key}`" for key in obj)
         return f"mapping with {len(obj)} entries: {keys}"
+    if typing.get_origin(obj) is typing.Union:
+        members = ", ".join(
+            f"`{getattr(arg, '__name__', repr(arg))}`"
+            for arg in typing.get_args(obj)
+        )
+        return f"union of: {members}"
     text = repr(obj)
     if " at 0x" in text or len(text) > 120:
         return f"a `{type(obj).__name__}` value"

@@ -26,6 +26,12 @@ it depends on, in pure Python:
   absorbs edge insertions/deletions incrementally (tombstones + side-stream
   insert logs + per-node compaction), so registered graphs mutate between
   queries without ever re-encoding;
+* :mod:`repro.shard` -- sharded graph partitions (hash/range/greedy
+  edge-cut partitioners) and a scatter-gather superstep executor that runs
+  any frontier application across per-shard engines -- inline, thread- or
+  process-backed -- with results independent of the partitioning and shard
+  count (BFS/CC bit-identical to the unsharded engine, float apps
+  canonical-order exact);
 * :mod:`repro.bench` -- the harness regenerating every table and figure of
   the paper's evaluation (its GCGT bars run through the service).
 
@@ -71,6 +77,7 @@ from repro.service import (
     BFSQuery,
     CCQuery,
     GraphRegistry,
+    PageRankQuery,
     QueryMetrics,
     QueryResult,
     TraversalService,
@@ -80,6 +87,14 @@ from repro.dynamic import (
     DeltaOverlay,
     EdgeUpdate,
     UpdateStats,
+)
+from repro.shard import (
+    GraphPartition,
+    GreedyEdgeCutPartitioner,
+    HashPartitioner,
+    RangePartitioner,
+    ShardExecutor,
+    ShardedCGRGraph,
 )
 
 __version__ = "1.2.0"
@@ -105,6 +120,7 @@ __all__ = [
     "BFSQuery",
     "CCQuery",
     "BCQuery",
+    "PageRankQuery",
     "QueryMetrics",
     "QueryResult",
     "GraphRegistry",
@@ -113,5 +129,11 @@ __all__ = [
     "DeltaOverlay",
     "EdgeUpdate",
     "UpdateStats",
+    "GraphPartition",
+    "HashPartitioner",
+    "RangePartitioner",
+    "GreedyEdgeCutPartitioner",
+    "ShardedCGRGraph",
+    "ShardExecutor",
     "__version__",
 ]

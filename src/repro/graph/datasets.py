@@ -55,16 +55,49 @@ class DatasetSpec:
         """Edge count after virtual-node preprocessing at the real scale."""
         return int(self.paper_edge_count * self.virtual_node_edge_factor)
 
-    def projected_footprint_bytes(self, bits_per_edge: float, overhead: float = 1.0) -> int:
+    def projected_footprint_bytes(
+        self,
+        bits_per_edge: float,
+        overhead: float = 1.0,
+        num_shards: int = 1,
+        boundary_edge_fraction: float | None = None,
+    ) -> int:
         """Device bytes an approach would need for the *real* dataset.
 
         ``bits_per_edge`` is the per-edge cost measured on the synthetic model
         (32 for CSR, the measured CGR rate for GCGT); ``overhead`` multiplies
         the total for framework baselines that allocate extra structures.
+
+        With ``num_shards > 1`` the projection models the sharded layout of
+        :class:`repro.shard.ShardedCGRGraph`: every edge's payload is still
+        stored exactly once (with its source's owner), but each shard
+        replicates the per-node arrays (``bitStart[]`` offsets, frontier and
+        label vectors), and the boundary-edge table keeps one
+        ``(source, target)`` entry per edge whose endpoints live on
+        different shards.  ``boundary_edge_fraction`` is the cut fraction of
+        the partitioner in use; when omitted it defaults to the expected cut
+        of a hash partition, ``1 - 1/num_shards``.
         """
-        edge_bytes = self.stored_edges_at_paper_scale() * bits_per_edge / 8
-        node_bytes = self.paper_node_count * 8  # offsets / frontier / labels
-        return int((edge_bytes + node_bytes) * overhead)
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if boundary_edge_fraction is not None and not (
+            0.0 <= boundary_edge_fraction <= 1.0
+        ):
+            raise ValueError(
+                "boundary_edge_fraction must lie in [0, 1], got "
+                f"{boundary_edge_fraction}"
+            )
+        stored_edges = self.stored_edges_at_paper_scale()
+        edge_bytes = stored_edges * bits_per_edge / 8
+        # offsets / frontier / labels, replicated per shard.
+        node_bytes = self.paper_node_count * 8 * num_shards
+        boundary_bytes = 0.0
+        if num_shards > 1:
+            if boundary_edge_fraction is None:
+                boundary_edge_fraction = 1 - 1 / num_shards
+            # Two 8-byte node ids per boundary-table entry.
+            boundary_bytes = stored_edges * boundary_edge_fraction * 16
+        return int((edge_bytes + node_bytes + boundary_bytes) * overhead)
 
 
 def _uk2002(num_nodes: int) -> Graph:

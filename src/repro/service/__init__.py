@@ -31,6 +31,7 @@ from repro.service.queries import (
     BCQuery,
     BFSQuery,
     CCQuery,
+    PageRankQuery,
     Query,
     QueryMetrics,
     QueryResult,
@@ -44,6 +45,7 @@ __all__ = [
     "CCQuery",
     "DecodedAdjacencyCache",
     "GraphRegistry",
+    "PageRankQuery",
     "Query",
     "QueryMetrics",
     "QueryResult",

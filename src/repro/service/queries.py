@@ -17,6 +17,7 @@ from typing import Union
 from repro.apps.bc import BCResult
 from repro.apps.bfs import BFSResult
 from repro.apps.cc import CCResult
+from repro.apps.pagerank import PPRResult
 from repro.service.cache import hit_rate
 
 
@@ -49,8 +50,25 @@ class BCQuery:
     source: int
 
 
+@dataclass(frozen=True)
+class PageRankQuery:
+    """Personalized PageRank (forward-push) from ``source`` on ``graph``.
+
+    Runs :func:`~repro.apps.pagerank.personalized_pagerank` over the
+    registered graph's resident engine -- or, for sharded registrations,
+    over its scatter-gather executor, superstep by superstep -- with the
+    graph's current out-degrees supplied automatically.
+    """
+
+    graph: str
+    source: int
+    alpha: float = 0.15
+    epsilon: float = 1e-4
+    max_iterations: int = 200
+
+
 #: Any query the service accepts in one :meth:`TraversalService.submit` batch.
-Query = Union[BFSQuery, CCQuery, BCQuery]
+Query = Union[BFSQuery, CCQuery, BCQuery, PageRankQuery]
 
 
 @dataclass(frozen=True)
@@ -76,6 +94,12 @@ class QueryMetrics:
             decoding node plans on cache misses -- the real host-side cost
             of the packed bit-stream engine, observable per query (0 for a
             fully warm cache).
+        shard_fanout: distinct shards this query's supersteps scattered work
+            to (0 for queries on unsharded registrations).
+        exchange_volume: ``(source, neighbour)`` messages exchanged between
+            shard workers and the coordinator while serving this query --
+            the scatter-gather traffic of the sharded execution tier (0 for
+            unsharded registrations).
     """
 
     cost: float
@@ -87,6 +111,8 @@ class QueryMetrics:
     cache_invalidations: int = 0
     graph_epoch: int = 0
     cache_miss_decode_ns: int = 0
+    shard_fanout: int = 0
+    exchange_volume: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -99,8 +125,8 @@ class QueryResult:
     """One answered query: the application result plus serving metrics."""
 
     query: Query
-    kind: str  # "bfs" | "cc" | "bc"
-    value: Union[BFSResult, CCResult, BCResult]
+    kind: str  # "bfs" | "cc" | "bc" | "pagerank"
+    value: Union[BFSResult, CCResult, BCResult, PPRResult]
     metrics: QueryMetrics
 
 
@@ -108,6 +134,7 @@ __all__ = [
     "BFSQuery",
     "CCQuery",
     "BCQuery",
+    "PageRankQuery",
     "Query",
     "QueryMetrics",
     "QueryResult",

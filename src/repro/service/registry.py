@@ -22,11 +22,20 @@ Connected components runs on the undirected interpretation of a graph, so the
 registry also keeps a lazily-built undirected sibling per entry, again encoded
 at most once; update batches are mirrored onto it (respecting reverse directed
 edges) whenever it exists.
+
+Registering with ``shards=N`` makes the entry **sharded**: the graph is split
+by a :mod:`repro.shard` partitioner, each shard encoded independently, and
+queries served through a :class:`~repro.shard.executor.ShardExecutor` whose
+supersteps scatter the frontier across per-shard engines.  Update batches are
+routed to owner shards' delta overlays, undirected siblings inherit the
+sharding spec, and per-shard decoded-plan caches take the place of the single
+entry cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.compression.cgr import CGRGraph
 from repro.dynamic.compaction import CompactionPolicy
@@ -37,7 +46,12 @@ from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.traversal.gcgt import GCGTConfig, GCGTEngine
 
-from repro.service.cache import DecodedAdjacencyCache
+from repro.service.cache import CacheSnapshot, DecodedAdjacencyCache
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
+    from repro.shard.executor import ShardExecutor
+    from repro.shard.partition import Partitioner
+    from repro.shard.sharded import ShardedCGRGraph
 
 #: Registry key: graph name plus the full engine configuration.
 RegistryKey = tuple[str, GCGTConfig]
@@ -52,19 +66,32 @@ class RegisteredGraph:
         graph: the uncompressed container, kept in sync with applied updates
             (it is the from-scratch reference the differential tests encode).
         config: the full engine configuration this entry was built with.
-        cgr: the frozen base encode (never mutated after registration).
-        overlay: the delta overlay the engine actually reads through.
-        engine: the resident traversal engine (its ``graph`` is ``overlay``).
-        plan_cache: the per-entry decoded-plan LRU, epoch-invalidated.
+        cgr: the frozen base encode (``None`` for sharded entries, whose
+            per-shard bases live inside ``sharded``).
+        overlay: the delta overlay the engine reads through (``None`` for
+            sharded entries, which keep one overlay per shard).
+        engine: the resident traversal engine (``None`` for sharded entries,
+            served through ``executor`` instead).
+        plan_cache: the per-entry decoded-plan LRU (``None`` for sharded
+            entries, which keep one cache per shard).
+        sharded: the per-shard encode of a sharded entry, else ``None``.
+        executor: the scatter-gather superstep engine of a sharded entry.
+        shards: the registered shard count (``None`` for unsharded entries).
+        partitioner: the partitioner spec a sharded entry was split with
+            (propagated to undirected siblings and ``replace``).
     """
 
     name: str
     graph: Graph
     config: GCGTConfig
-    cgr: CGRGraph
-    overlay: DeltaOverlay
-    engine: GCGTEngine
-    plan_cache: DecodedAdjacencyCache
+    cgr: CGRGraph | None
+    overlay: DeltaOverlay | None
+    engine: GCGTEngine | None
+    plan_cache: DecodedAdjacencyCache | None
+    sharded: "ShardedCGRGraph | None" = field(default=None, repr=False)
+    executor: "ShardExecutor | None" = field(default=None, repr=False)
+    shards: int | None = None
+    partitioner: "Partitioner | str | None" = field(default=None, repr=False)
     #: The symmetrised sibling used by CC queries, built on first use.
     undirected: "RegisteredGraph | None" = field(default=None, repr=False)
     #: Lazily (re)built CSR; dropped whenever an update batch lands.
@@ -78,23 +105,74 @@ class RegisteredGraph:
         return self._csr
 
     @property
+    def is_sharded(self) -> bool:
+        """Whether queries on this entry run through the shard executor."""
+        return self.executor is not None
+
+    @property
     def num_nodes(self) -> int:
         return self.graph.num_nodes
 
     @property
     def num_edges(self) -> int:
         """Live edge count (tracks applied updates)."""
+        if self.executor is not None:
+            return self.executor.num_edges
+        assert self.overlay is not None
         return self.overlay.num_edges
 
     @property
     def epoch(self) -> int:
-        """The overlay's mutation epoch (0 until the first update batch)."""
+        """The entry's mutation epoch (0 until the first update batch)."""
+        if self.executor is not None:
+            return self.executor.epoch
+        assert self.overlay is not None
         return self.overlay.epoch
 
     @property
     def compression_rate(self) -> float:
-        """Compression rate over the overlay's live bits."""
+        """Compression rate over the entry's live bits (shards aggregated)."""
+        if self.executor is not None:
+            return self.executor.compression_rate
+        assert self.overlay is not None
         return self.overlay.compression_rate
+
+    @property
+    def bits_per_edge(self) -> float:
+        """Live bits per edge: frozen base plus overlay side streams, summed
+        across shards for sharded entries."""
+        if self.executor is not None:
+            return self.executor.bits_per_edge
+        assert self.overlay is not None
+        return self.overlay.bits_per_edge
+
+    def all_plan_caches(self) -> list[DecodedAdjacencyCache]:
+        """Every decoded-plan cache backing this entry (one per shard for
+        sharded entries; empty on the process backend, whose caches live in
+        worker processes)."""
+        if self.executor is not None:
+            return list(self.executor.plan_caches)
+        assert self.plan_cache is not None
+        return [self.plan_cache]
+
+    def all_overlays(self) -> list[DeltaOverlay]:
+        """Every delta overlay backing this entry (one per shard when sharded;
+        empty on the process backend)."""
+        if self.executor is not None:
+            return list(self.executor.overlays)
+        assert self.overlay is not None
+        return [self.overlay]
+
+    def cache_counters(self) -> CacheSnapshot:
+        """Aggregate cache counters across the entry's plan caches."""
+        caches = self.all_plan_caches()
+        return CacheSnapshot(
+            hits=sum(c.hits for c in caches),
+            misses=sum(c.misses for c in caches),
+            evictions=sum(c.evictions for c in caches),
+            invalidations=sum(c.invalidations for c in caches),
+            miss_decode_ns=sum(c.miss_decode_ns for c in caches),
+        )
 
 
 class GraphRegistry:
@@ -128,19 +206,35 @@ class GraphRegistry:
         name: str,
         graph: Graph,
         config: GCGTConfig | None = None,
+        shards: int | None = None,
+        partitioner: "Partitioner | str | None" = None,
+        executor_backend: str = "inline",
     ) -> RegisteredGraph:
         """Make ``graph`` resident under ``name``; a no-op when already there.
 
         Re-registering the same ``(name, config)`` returns the existing entry
         without re-encoding, even if a different :class:`Graph` instance is
         passed -- the registry is the source of truth for resident graphs
-        (use :meth:`replace` to swap a resident graph for new data).
+        (use :meth:`replace` to swap a resident graph for new data).  The
+        sharding spec is likewise fixed at first registration.
+
+        With ``shards`` set (> 1, or 1 to force the sharded code path), the
+        graph is split by ``partitioner`` (a :class:`~repro.shard.partition.
+        Partitioner`, a registered name like ``"hash"``/``"range"``/
+        ``"greedy"``, or ``None`` for the hash default), each shard is
+        encoded independently, and the entry serves queries through a
+        :class:`~repro.shard.executor.ShardExecutor` on
+        ``executor_backend`` (``"inline"``, ``"thread"`` or ``"process"``).
         """
         config = config or self.default_config
         key = (name, config)
         entry = self._entries.get(key)
         if entry is None:
-            entry = self._encode(name, graph, config)
+            entry = self._encode(
+                name, graph, config,
+                shards=shards, partitioner=partitioner,
+                executor_backend=executor_backend,
+            )
             self._entries[key] = entry
         return entry
 
@@ -161,8 +255,10 @@ class GraphRegistry:
         dropped as evictions -- see
         :meth:`~repro.service.cache.DecodedAdjacencyCache.clear`); undirected
         siblings are discarded and lazily rebuilt from the new graph on the
-        next CC query.  Returns the replaced entry (the first-registered one
-        when several configurations were replaced).
+        next CC query.  A sharded entry is replaced by a sharded entry with
+        the same shard count and partitioner (its previous executor is shut
+        down).  Returns the replaced entry (the first-registered one when
+        several configurations were replaced).
         """
         if config is not None:
             keys = [(name, config)]
@@ -173,13 +269,50 @@ class GraphRegistry:
         for key in keys:
             previous = self._entries.get(key)
             plan_cache = None
+            shards = partitioner = None
+            executor_backend = "inline"
             if previous is not None:
                 plan_cache = previous.plan_cache
-                plan_cache.clear()
-            self._entries[key] = self._encode(
-                name, graph, key[1], plan_cache=plan_cache
+                if plan_cache is not None:
+                    plan_cache.clear()
+                shards = previous.shards
+                partitioner = previous.partitioner
+                if previous.executor is not None:
+                    executor_backend = previous.executor.backend
+                    previous.executor.close()
+                if previous.undirected is not None and previous.undirected.executor is not None:
+                    previous.undirected.executor.close()
+            replacement = self._encode(
+                name, graph, key[1], plan_cache=plan_cache,
+                shards=shards, partitioner=partitioner,
+                executor_backend=executor_backend,
             )
+            if previous is not None and previous.executor is not None:
+                self._carry_cache_counters(previous, replacement)
+            self._entries[key] = replacement
         return self._entries[keys[0]]
+
+    @staticmethod
+    def _carry_cache_counters(
+        previous: RegisteredGraph, replacement: RegisteredGraph
+    ) -> None:
+        """Fold a replaced sharded entry's cache counters into its successor.
+
+        Unsharded replacement keeps the cache *object* (counters survive,
+        resident plans drop as evictions via ``clear``); a sharded
+        replacement builds fresh per-shard caches, so the cumulative
+        counters are carried over explicitly -- resident plans counted as
+        evictions -- keeping :meth:`TraversalService.stats` monotonic
+        across replacements either way.
+        """
+        for old, new in zip(
+            previous.all_plan_caches(), replacement.all_plan_caches()
+        ):
+            new.hits += old.hits
+            new.misses += old.misses
+            new.evictions += old.evictions + len(old)
+            new.invalidations += old.invalidations
+            new.miss_decode_ns += old.miss_decode_ns
 
     def _encode(
         self,
@@ -187,8 +320,15 @@ class GraphRegistry:
         graph: Graph,
         config: GCGTConfig,
         plan_cache: DecodedAdjacencyCache | None = None,
+        shards: int | None = None,
+        partitioner: "Partitioner | str | None" = None,
+        executor_backend: str = "inline",
     ) -> RegisteredGraph:
         """Pay the one-time encode + residency cost for one graph."""
+        if shards is not None:
+            return self._encode_sharded(
+                name, graph, config, shards, partitioner, executor_backend
+            )
         cgr = CGRGraph.from_adjacency(graph.adjacency(), config.effective_cgr_config())
         overlay = DeltaOverlay(cgr, policy=self.compaction_policy)
         if plan_cache is None:
@@ -205,6 +345,54 @@ class GraphRegistry:
             overlay=overlay,
             engine=engine,
             plan_cache=plan_cache,
+            _csr=CSRGraph.from_graph(graph),
+        )
+
+    def _encode_sharded(
+        self,
+        name: str,
+        graph: Graph,
+        config: GCGTConfig,
+        shards: int,
+        partitioner: "Partitioner | str | None",
+        executor_backend: str,
+    ) -> RegisteredGraph:
+        """Partition, encode every shard, and stand the superstep executor up.
+
+        Counts one encode call per shard: that is the real host-side encode
+        work performed, and it keeps the encode-once contract observable --
+        repeated queries never move the counter.
+        """
+        # Imported here: repro.shard builds on the service cache module, so a
+        # top-level import would be circular.
+        from repro.shard.executor import ShardExecutor
+        from repro.shard.sharded import ShardedCGRGraph
+
+        sharded = ShardedCGRGraph.from_graph(
+            graph, shards, partitioner=partitioner,
+            config=config.effective_cgr_config(),
+        )
+        executor = ShardExecutor(
+            sharded,
+            backend=executor_backend,
+            device=self.device,
+            config=config,
+            cache_capacity=self.cache_capacity,
+            compaction_policy=self.compaction_policy,
+        )
+        self.encode_calls += sharded.num_shards
+        return RegisteredGraph(
+            name=name,
+            graph=graph,
+            config=config,
+            cgr=None,
+            overlay=None,
+            engine=None,
+            plan_cache=None,
+            sharded=sharded,
+            executor=executor,
+            shards=shards,
+            partitioner=partitioner,
             _csr=CSRGraph.from_graph(graph),
         )
 
@@ -251,18 +439,32 @@ class GraphRegistry:
     def _apply_to_entry(
         self, entry: RegisteredGraph, batch: list[EdgeUpdate]
     ) -> UpdateStats:
-        """One entry's share of a batch: overlay, container, sibling, cache."""
-        stats = entry.overlay.apply(batch)
-        for node in stats.touched_nodes:
-            entry.plan_cache.invalidate(node)
+        """One entry's share of a batch: overlay, container, sibling, cache.
+
+        Sharded entries route the batch through their executor, which splits
+        it by owner shard, applies each sub-batch to that shard's overlay and
+        invalidates the touched nodes in that shard's plan cache.
+        """
+        if entry.executor is not None:
+            stats = entry.executor.apply_updates(batch)
+        else:
+            assert entry.overlay is not None and entry.plan_cache is not None
+            stats = entry.overlay.apply(batch)
+            for node in stats.touched_nodes:
+                entry.plan_cache.invalidate(node)
         if stats.changed:
             entry.graph = entry.graph.with_edge_updates(stats.applied)
             entry._csr = None
         if entry.undirected is not None and stats.changed:
             mirror = self._mirror_batch(stats.applied, entry.graph)
-            mirror_stats = entry.undirected.overlay.apply(mirror)
-            for node in mirror_stats.touched_nodes:
-                entry.undirected.plan_cache.invalidate(node)
+            sibling = entry.undirected
+            if sibling.executor is not None:
+                mirror_stats = sibling.executor.apply_updates(mirror)
+            else:
+                assert sibling.overlay is not None and sibling.plan_cache is not None
+                mirror_stats = sibling.overlay.apply(mirror)
+                for node in mirror_stats.touched_nodes:
+                    sibling.plan_cache.invalidate(node)
             if mirror_stats.changed:
                 entry.undirected.graph = entry.undirected.graph.with_edge_updates(
                     mirror_stats.applied
@@ -332,10 +534,16 @@ class GraphRegistry:
         topology; later batches are mirrored onto it incrementally.
         """
         if entry.undirected is None:
+            backend = "inline"
+            if entry.executor is not None:
+                backend = entry.executor.backend
             entry.undirected = self._encode(
                 f"{entry.name}#undirected",
                 entry.graph.to_undirected(),
                 entry.config,
+                shards=entry.shards,
+                partitioner=entry.partitioner,
+                executor_backend=backend,
             )
         return entry.undirected
 
@@ -344,6 +552,11 @@ class GraphRegistry:
     def names(self) -> list[str]:
         """Registered graph names (without their configuration keys), sorted."""
         return sorted({name for name, _ in self._entries})
+
+    def primary_entries(self) -> list[RegisteredGraph]:
+        """Directly registered entries (no undirected siblings), in
+        registration order."""
+        return list(self._entries.values())
 
     def entries(self) -> list[RegisteredGraph]:
         """Every resident entry, including lazily-built undirected siblings."""
@@ -359,6 +572,22 @@ class GraphRegistry:
 
     def __contains__(self, name: str) -> bool:
         return any(entry_name == name for entry_name, _ in self._entries)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down every sharded entry's executor (worker pools included).
+
+        Long-lived hosts using the ``"process"`` backend should call this
+        (or use :class:`~repro.service.TraversalService` as a context
+        manager) when done serving; otherwise each sharded registration's
+        single-worker pools -- and the lazily built undirected siblings' --
+        outlive their usefulness.  Unsharded entries are unaffected; sharded
+        entries refuse further queries once closed.
+        """
+        for entry in self.entries():
+            if entry.executor is not None:
+                entry.executor.close()
 
 
 __all__ = ["GraphRegistry", "RegisteredGraph", "RegistryKey"]

@@ -16,12 +16,13 @@ is what the differential and cache-behaviour test suites assert on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.apps.bc import betweenness_centrality
 from repro.apps.bfs import bfs
 from repro.apps.cc import connected_components
+from repro.apps.pagerank import personalized_pagerank
 from repro.dynamic.updates import UpdateStats
 from repro.gpu.device import GPUDevice
 from repro.graph.graph import Graph
@@ -32,6 +33,7 @@ from repro.service.queries import (
     BCQuery,
     BFSQuery,
     CCQuery,
+    PageRankQuery,
     Query,
     QueryMetrics,
     QueryResult,
@@ -56,6 +58,14 @@ class ServiceStats:
             :meth:`TraversalService.apply_updates`.
         edges_inserted / edges_deleted: effective edge mutations applied.
         compactions: per-node delta-to-CGR folds across all overlays.
+        bits_per_edge: per-graph live compression accounting -- for every
+            directly registered graph name, the live bits (frozen base plus
+            overlay side streams, summed across shards for sharded entries)
+            divided by the live edge count.  Undirected CC siblings are a
+            serving detail and are not listed.
+        exchange_volume: total scatter-gather messages exchanged by sharded
+            entries across the life of the service (0 with no sharded
+            registrations).
     """
 
     graphs_resident: int
@@ -70,6 +80,8 @@ class ServiceStats:
     edges_deleted: int = 0
     compactions: int = 0
     cache_miss_decode_ns: int = 0
+    bits_per_edge: dict = field(default_factory=dict)
+    exchange_volume: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -102,9 +114,29 @@ class TraversalService:
         name: str,
         graph: Graph,
         config: GCGTConfig | None = None,
+        shards: int | None = None,
+        partitioner=None,
+        executor_backend: str = "inline",
     ) -> RegisteredGraph:
-        """Encode ``graph`` once and keep it resident under ``name``."""
-        return self.registry.register(name, graph, config)
+        """Encode ``graph`` once and keep it resident under ``name``.
+
+        With ``shards=N`` the graph is registered sharded: split by
+        ``partitioner`` (``"hash"``/``"range"``/``"greedy"`` or a
+        :class:`~repro.shard.partition.Partitioner` instance), one CGR
+        stream and delta overlay per shard, queries served as scatter-gather
+        supersteps on ``executor_backend`` (see
+        :class:`~repro.shard.executor.ShardExecutor`).  Answers do not
+        depend on the sharding: BFS/CC results are bit-identical to an
+        unsharded registration, float-valued results (PageRank, BC) follow
+        the canonical expansion order (agreeing with the unsharded path to
+        addition-order ulps); per-query metrics gain the shard fan-out and
+        exchange volume.
+        """
+        return self.registry.register(
+            name, graph, config,
+            shards=shards, partitioner=partitioner,
+            executor_backend=executor_backend,
+        )
 
     def apply_updates(self, name: str, updates) -> UpdateStats:
         """Absorb an edge-update batch into the graph registered as ``name``.
@@ -150,61 +182,131 @@ class TraversalService:
         if isinstance(query, CCQuery):
             entry = self.registry.undirected_variant(entry)
 
-        cache = entry.plan_cache
-        cache_before = cache.snapshot()
-        session = entry.engine.new_session()
+        cache_before = entry.cache_counters()
+        executor = entry.executor
+        if executor is not None:
+            # Sharded entry: the scatter-gather executor is the frontier
+            # engine; cost and exchange counters are attributed by delta.
+            engine = executor
+            shard_before = executor.counters()
+        else:
+            engine = entry.engine.new_session()
+            shard_before = None
 
         if isinstance(query, BFSQuery):
-            kind, value = "bfs", bfs(session, query.source)
-            iterations = value.iterations
+            if executor is not None:
+                # Superstep-native sharded BFS: shard-side admission, node-id
+                # frontier exchange; bit-identical to bfs() on an engine.
+                value = executor.bfs(query.source)
+            else:
+                value = bfs(engine, query.source)
+            kind, iterations = "bfs", value.iterations
         elif isinstance(query, CCQuery):
             kind, value = "cc", connected_components(
-                session, max_iterations=query.max_iterations
+                engine, max_iterations=query.max_iterations
             )
             iterations = value.iterations
         elif isinstance(query, BCQuery):
-            kind, value = "bc", betweenness_centrality(session, query.source)
+            kind, value = "bc", betweenness_centrality(engine, query.source)
+            iterations = value.iterations
+        elif isinstance(query, PageRankQuery):
+            kind, value = "pagerank", personalized_pagerank(
+                engine,
+                query.source,
+                alpha=query.alpha,
+                epsilon=query.epsilon,
+                degrees=entry.graph.degrees(),
+                max_iterations=query.max_iterations,
+            )
             iterations = value.iterations
         else:
             raise TypeError(f"unsupported query type {type(query).__name__}")
 
+        if shard_before is not None:
+            shard_after = executor.counters()
+            cost = shard_after.cost - shard_before.cost
+            elapsed = shard_after.elapsed_proxy - shard_before.elapsed_proxy
+            shard_fanout = sum(
+                1
+                for before, after in zip(
+                    shard_before.shard_touches, shard_after.shard_touches
+                )
+                if after > before
+            )
+            exchange_volume = (
+                shard_after.exchange_volume - shard_before.exchange_volume
+            )
+        else:
+            cost = engine.cost()
+            elapsed = self.device.elapsed_proxy(engine.metrics)
+            shard_fanout = 0
+            exchange_volume = 0
+
+        cache_after = entry.cache_counters()
         self.queries_served += 1
         metrics = QueryMetrics(
-            cost=session.cost(),
-            elapsed_proxy=self.device.elapsed_proxy(session.metrics),
+            cost=cost,
+            elapsed_proxy=elapsed,
             iterations=iterations,
-            cache_hits=cache.hits - cache_before.hits,
-            cache_misses=cache.misses - cache_before.misses,
+            cache_hits=cache_after.hits - cache_before.hits,
+            cache_misses=cache_after.misses - cache_before.misses,
             encode_calls=self.registry.encode_calls - encode_before,
-            cache_invalidations=cache.invalidations - cache_before.invalidations,
+            cache_invalidations=(
+                cache_after.invalidations - cache_before.invalidations
+            ),
             graph_epoch=entry.epoch,
             cache_miss_decode_ns=(
-                cache.miss_decode_ns - cache_before.miss_decode_ns
+                cache_after.miss_decode_ns - cache_before.miss_decode_ns
             ),
+            shard_fanout=shard_fanout,
+            exchange_volume=exchange_volume,
         )
         return QueryResult(query=query, kind=kind, value=value, metrics=metrics)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release sharded entries' worker pools (see
+        :meth:`~repro.service.GraphRegistry.close`); idempotent."""
+        self.registry.close()
+
+    def __enter__(self) -> "TraversalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> ServiceStats:
         """Aggregate registry + cache + update statistics for monitoring."""
         entries = self.registry.entries()
+        caches = [cache for e in entries for cache in e.all_plan_caches()]
+        overlays = [overlay for e in entries for overlay in e.all_overlays()]
+        # One compression figure per directly registered name; with several
+        # configurations under one name, the last-registered entry reports.
+        bits_per_edge = {
+            entry.name: entry.bits_per_edge
+            for entry in self.registry.primary_entries()
+        }
         return ServiceStats(
             graphs_resident=len(entries),
             encode_calls=self.registry.encode_calls,
             queries_served=self.queries_served,
-            cache_hits=sum(e.plan_cache.hits for e in entries),
-            cache_misses=sum(e.plan_cache.misses for e in entries),
-            cache_evictions=sum(e.plan_cache.evictions for e in entries),
-            cache_invalidations=sum(
-                e.plan_cache.invalidations for e in entries
-            ),
+            cache_hits=sum(c.hits for c in caches),
+            cache_misses=sum(c.misses for c in caches),
+            cache_evictions=sum(c.evictions for c in caches),
+            cache_invalidations=sum(c.invalidations for c in caches),
             update_batches=self.registry.update_batches,
             edges_inserted=self.registry.edges_inserted,
             edges_deleted=self.registry.edges_deleted,
-            compactions=sum(e.overlay.compactions for e in entries),
-            cache_miss_decode_ns=sum(
-                e.plan_cache.miss_decode_ns for e in entries
+            compactions=sum(o.compactions for o in overlays),
+            cache_miss_decode_ns=sum(c.miss_decode_ns for c in caches),
+            bits_per_edge=bits_per_edge,
+            exchange_volume=sum(
+                e.executor.exchange_volume
+                for e in entries
+                if e.executor is not None
             ),
         )
 

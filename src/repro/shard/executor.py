@@ -1,0 +1,753 @@
+"""Parallel scatter-gather execution over sharded CGR graphs.
+
+:class:`ShardExecutor` turns a :class:`~repro.shard.sharded.ShardedCGRGraph`
+into a :class:`~repro.apps.pipeline.FrontierEngine`: every ``expand`` call is
+one **superstep** of a bulk-synchronous computation.
+
+* **Scatter** -- the frontier is routed to owning shards
+  (:meth:`~repro.shard.partition.GraphPartition.split_frontier`) and each
+  shard expands its share through its own resident
+  :class:`~repro.traversal.gcgt.GCGTEngine`, concurrently across shards,
+  collecting the decoded ``(source, neighbour)`` pairs.  This is where the
+  expensive work -- compressed-adjacency decode and the simulated warp
+  traversal -- parallelises.
+* **Gather** -- the collected neighbour lists are replayed through the
+  application's filter callback in *canonical order* (frontier order, then
+  ascending neighbour id), on the coordinator.  Canonical replay decouples
+  results from the sharding: the same float additions in the same order and
+  the same admissions for **every** shard count and partitioner, whatever
+  the scatter concurrency did.  Integer-valued answers (BFS levels, CC
+  labels) equal the warp-scheduled unsharded engine bit for bit; float
+  accumulations (PageRank, BC) equal the canonical-order unsharded
+  expansion -- the Naive CPU reference -- float for float, and agree with
+  the warp-scheduled engine to addition-order ulps.
+* **Frontier exchange** -- admitted neighbours form the next frontier; at
+  the next superstep they are routed to *their* owners, so a neighbour on a
+  different shard than its discoverer is exactly one exchanged message.
+  The executor counts the exchange volume and the per-superstep shard
+  fan-out, surfaced per query as
+  :attr:`~repro.service.queries.QueryMetrics.shard_fanout` /
+  :attr:`~repro.service.queries.QueryMetrics.exchange_volume`.
+
+Three backends share this protocol:
+
+* ``"inline"`` (default) -- shards expand sequentially in-process; no
+  concurrency overhead, deterministic, the serving default.
+* ``"thread"`` -- a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  dispatches one task per touched shard.
+* ``"process"`` -- one single-worker process pool per shard; each worker
+  holds its shard's engine resident (encoded once at pool start) and absorbs
+  update batches in place, so supersteps only ship frontier ids in and
+  neighbour lists out.  This is the backend the shard-throughput benchmark
+  gates, since it escapes the interpreter lock.
+
+Every shard reads through its own :class:`~repro.dynamic.DeltaOverlay`, so
+:meth:`ShardExecutor.apply_updates` routes an update batch to owner shards
+and absorbs it without re-encoding anything, mirroring the single-graph
+dynamic path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.bfs import BFSResult, UNREACHED
+from repro.compression.cgr import CGRGraph, UNCOMPRESSED_BITS_PER_EDGE
+from repro.dynamic.compaction import CompactionPolicy
+from repro.dynamic.overlay import DeltaOverlay
+from repro.dynamic.updates import EdgeUpdate, UpdateStats, coerce_updates
+from repro.gpu.device import GPUDevice
+from repro.gpu.metrics import KernelMetrics
+from repro.service.cache import DecodedAdjacencyCache
+from repro.shard.sharded import ShardedCGRGraph
+from repro.traversal.gcgt import GCGTConfig, GCGTEngine
+
+#: Supported execution backends.
+BACKENDS = ("inline", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ShardCounters:
+    """Point-in-time executor counters (for per-query delta attribution).
+
+    Attributes:
+        supersteps: ``expand`` calls executed so far.
+        exchange_volume: total scattered ``(source, neighbour)`` messages
+            gathered back to the coordinator.
+        boundary_messages: the subset of the exchange whose neighbour lives
+            on a different shard than its source -- true cross-shard traffic.
+        shard_touches: scatter tasks dispatched to each shard so far.
+        cost: simulated total-work cost accumulated across shard engines.
+        elapsed_proxy: cost divided by the device's warp-level parallelism.
+    """
+
+    supersteps: int
+    exchange_volume: int
+    boundary_messages: int
+    shard_touches: tuple[int, ...]
+    cost: float
+    elapsed_proxy: float
+
+
+def _expand_collect(
+    engine: GCGTEngine, nodes: list[int]
+) -> tuple[dict[int, list[int]], KernelMetrics]:
+    """One shard's scatter: expand ``nodes``, collect neighbours per source.
+
+    The collecting filter admits nothing (frontier management happens at the
+    gather), so the expansion charges exactly the decode/traversal work the
+    shard's engine would do anyway.  Tombstone suppression of the shard's
+    overlay still runs ahead of the collector, so deleted edges never leave
+    the shard.
+    """
+    unique = list(dict.fromkeys(nodes))
+    collected: dict[int, set[int]] = {node: set() for node in unique}
+
+    def collect(source: int, neighbor: int) -> bool:
+        collected[source].add(neighbor)
+        return False
+
+    session = engine.new_session()
+    session.expand(unique, collect)
+    return (
+        {node: sorted(neighbors) for node, neighbors in collected.items()},
+        session.metrics,
+    )
+
+
+def _bfs_step(
+    engine: GCGTEngine,
+    levels: np.ndarray,
+    candidates: np.ndarray,
+    level: int,
+) -> tuple[np.ndarray, int, KernelMetrics | None]:
+    """One shard's BFS superstep: admit shard-side, expand, emit candidates.
+
+    ``candidates`` are globally deduplicated node ids owned by this shard
+    that some shard discovered last superstep.  Unvisited ones are admitted
+    at ``level`` and expanded through the shard engine; the returned array
+    holds the deduplicated neighbour ids to exchange, with targets this
+    shard already knows are visited filtered out locally (they are owned
+    here, so no other shard needs them).
+
+    Running the admission *inside* the shard is what makes sharded BFS
+    scale: the exchange carries at most one message per discovered node,
+    not one per decoded edge, and the coordinator never replays the filter.
+    Levels are distance-determined, so the result is bit-identical to the
+    frontier-order admission of the unsharded engine.
+    """
+    admitted = candidates[levels[candidates] == UNREACHED]
+    levels[admitted] = level
+    if len(admitted) == 0:
+        return np.empty(0, dtype=np.int64), 0, None
+
+    out: list[int] = []
+
+    def collect(source: int, neighbor: int) -> bool:
+        out.append(neighbor)
+        return False
+
+    session = engine.new_session()
+    session.expand([int(node) for node in admitted], collect)
+    if not out:
+        return np.empty(0, dtype=np.int64), len(admitted), session.metrics
+    targets = np.unique(np.asarray(out, dtype=np.int64))
+    # Owned-and-visited targets can be pruned here; remote targets are the
+    # owning shard's call next superstep.
+    targets = targets[levels[targets] == UNREACHED]
+    return targets, len(admitted), session.metrics
+
+
+# ---------------------------------------------------------------------------
+# Process-backend worker functions (module level so they pickle).
+# ---------------------------------------------------------------------------
+
+#: Per-process worker state: the shard's engine and overlay, built once.
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(
+    adjacency: list[list[int]],
+    config: GCGTConfig,
+    cache_capacity: int,
+    device: GPUDevice,
+    compaction_policy: CompactionPolicy,
+) -> None:
+    """Build the shard's resident engine inside the worker process.
+
+    The executor's device and compaction policy are shipped along so the
+    worker's cost metrics and compaction behaviour match what the inline
+    and thread backends would produce from the same arguments.
+    """
+    cgr = CGRGraph.from_adjacency(adjacency, config.effective_cgr_config())
+    overlay = DeltaOverlay(cgr, policy=compaction_policy)
+    cache = DecodedAdjacencyCache(cache_capacity)
+    engine = GCGTEngine(overlay, device=device, config=config, plan_cache=cache)
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["overlay"] = overlay
+
+
+def _process_worker_ping() -> bool:
+    """Confirm the worker finished initialisation (used to warm pools up)."""
+    return "engine" in _WORKER_STATE
+
+
+def _process_worker_expand(
+    nodes: list[int],
+) -> tuple[dict[int, list[int]], KernelMetrics]:
+    """Scatter task: expand ``nodes`` on the worker's resident shard engine."""
+    return _expand_collect(_WORKER_STATE["engine"], nodes)
+
+
+def _process_worker_apply(batch: list[EdgeUpdate]) -> UpdateStats:
+    """Absorb an update sub-batch into the worker's shard overlay."""
+    stats = _WORKER_STATE["overlay"].apply(batch)
+    cache = _WORKER_STATE["engine"].plan_cache
+    for node in stats.touched_nodes:
+        cache.invalidate(node)
+    return stats
+
+
+def _process_worker_live_bits() -> int:
+    """Live bits of the worker's shard overlay (side stream included)."""
+    return _WORKER_STATE["overlay"].live_bits
+
+
+def _process_worker_bfs_reset() -> None:
+    """Start a fresh BFS: clear the worker's per-node level array."""
+    overlay = _WORKER_STATE["overlay"]
+    _WORKER_STATE["bfs_levels"] = np.full(
+        overlay.num_nodes, UNREACHED, dtype=np.int64
+    )
+
+
+def _process_worker_bfs_step(
+    candidates: np.ndarray, level: int
+) -> tuple[np.ndarray, int, KernelMetrics | None]:
+    """One BFS superstep on the worker's resident shard (see :func:`_bfs_step`)."""
+    return _bfs_step(
+        _WORKER_STATE["engine"], _WORKER_STATE["bfs_levels"], candidates, level
+    )
+
+
+def _process_worker_bfs_levels() -> np.ndarray:
+    """The worker's level array (authoritative for its owned nodes only)."""
+    return _WORKER_STATE["bfs_levels"]
+
+
+class ShardExecutor:
+    """Superstep scatter-gather engine over the shards of one graph.
+
+    Satisfies the :class:`~repro.apps.pipeline.FrontierEngine` protocol, so
+    every application in :mod:`repro.apps` -- BFS, connected components,
+    personalized PageRank, betweenness centrality -- runs on it unchanged,
+    with results bit-identical to the unsharded canonical-order run.
+
+    Args:
+        sharded: the partitioned, per-shard-encoded graph.
+        backend: ``"inline"``, ``"thread"`` or ``"process"`` (see module doc).
+        max_workers: thread-pool width for the ``"thread"`` backend
+            (defaults to the shard count); the ``"process"`` backend always
+            runs one dedicated worker per shard.
+        device: simulated device shared by the shard engines (defaults to a
+            fresh :class:`~repro.gpu.GPUDevice`).
+        config: engine configuration applied to every shard (its encoding
+            part must match how ``sharded`` was encoded).
+        cache_capacity: per-shard decoded-plan cache capacity.
+        compaction_policy: per-shard overlay compaction policy.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedCGRGraph,
+        backend: str = "inline",
+        max_workers: int | None = None,
+        device: GPUDevice | None = None,
+        config: GCGTConfig | None = None,
+        cache_capacity: int = 4096,
+        compaction_policy: CompactionPolicy | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.sharded = sharded
+        self.partition = sharded.partition
+        self.backend = backend
+        self.device = device or GPUDevice()
+        self.config = config or GCGTConfig()
+        self.cache_capacity = cache_capacity
+        self._num_edges = sharded.num_edges
+        self._closed = False
+
+        # Cumulative exchange / work counters (see ShardCounters).
+        self.supersteps = 0
+        self.exchange_volume = 0
+        self.boundary_messages = 0
+        self.shard_touches = [0] * sharded.num_shards
+        #: Coordinator-side mutation epoch: advances once per effective
+        #: update batch, whatever the backend, so
+        #: :attr:`~repro.service.queries.QueryMetrics.graph_epoch` means the
+        #: same thing for every sharded registration.  (Per-shard overlays
+        #: keep their own finer-grained epochs for plan-cache keying.)
+        self._epoch = 0
+        #: Last known aggregate live bits; kept current so the process
+        #: backend can still report sizes after :meth:`close`.
+        self._final_live_bits = sharded.total_bits
+        #: Simulated critical-path cost: per superstep, the *maximum* of the
+        #: participating shards' costs (shards run concurrently, the barrier
+        #: waits for the slowest), summed over supersteps.  ``cost() /
+        #: critical_cost`` is the parallel speedup one worker per shard
+        #: achieves under the device cost model -- the same modelling step
+        #: the CPU baselines apply (work divided by threads), needed because
+        #: wall-clock scaling additionally depends on the host's core count.
+        self.critical_cost = 0.0
+        self.kernel_metrics = KernelMetrics()
+
+        self.engines: list[GCGTEngine] = []
+        self.overlays: list[DeltaOverlay] = []
+        self.plan_caches: list[DecodedAdjacencyCache] = []
+        #: Per-shard level arrays of the in-progress/last BFS (inline/thread).
+        self._bfs_levels: list[np.ndarray] = []
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pools: list[ProcessPoolExecutor] = []
+
+        if backend == "process":
+            policy = compaction_policy or CompactionPolicy()
+            for shard in range(sharded.num_shards):
+                pool = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        sharded.shard_adjacency(shard),
+                        self.config,
+                        cache_capacity,
+                        self.device,
+                        policy,
+                    ),
+                )
+                self._process_pools.append(pool)
+            # Force worker start-up now so construction cost never leaks
+            # into superstep timings and init errors surface eagerly.
+            for pool in self._process_pools:
+                if not pool.submit(_process_worker_ping).result():
+                    raise RuntimeError("shard worker failed to initialise")
+        else:
+            policy = compaction_policy or CompactionPolicy()
+            for shard_cgr in sharded.shards:
+                overlay = DeltaOverlay(shard_cgr, policy=policy)
+                cache = DecodedAdjacencyCache(cache_capacity)
+                engine = GCGTEngine(
+                    overlay, device=self.device, config=self.config,
+                    plan_cache=cache,
+                )
+                self.overlays.append(overlay)
+                self.plan_caches.append(cache)
+                self.engines.append(engine)
+            if backend == "thread":
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=max_workers or sharded.num_shards
+                )
+
+    # -- graph facts (FrontierEngine surface + registry needs) ----------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.sharded.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Live edge count across all shards (tracks applied updates)."""
+        return self._num_edges
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    @property
+    def epoch(self) -> int:
+        """Mutation epoch: effective update batches absorbed, any backend."""
+        return self._epoch
+
+    def live_bits(self) -> int:
+        """Live compressed bits across shards (base + overlay side streams).
+
+        After :meth:`close`, the process backend reports the last value
+        observed while its workers were alive (refreshed on every update
+        batch and at close), so monitoring paths like
+        :meth:`~repro.service.TraversalService.stats` keep working.
+        """
+        if self.backend == "process":
+            if not self._closed:
+                self._refresh_live_bits()
+            return self._final_live_bits
+        return sum(overlay.live_bits for overlay in self.overlays)
+
+    def _refresh_live_bits(self) -> None:
+        """Re-read the process workers' aggregate live-bit count."""
+        futures = [
+            pool.submit(_process_worker_live_bits)
+            for pool in self._process_pools
+        ]
+        self._final_live_bits = sum(future.result() for future in futures)
+
+    @property
+    def bits_per_edge(self) -> float:
+        """Aggregate live bits per edge, overlay side streams included."""
+        if self._num_edges == 0:
+            return float("nan")
+        return self.live_bits() / self._num_edges
+
+    @property
+    def compression_rate(self) -> float:
+        """The paper's metric over aggregate live bits: 32 / bits-per-edge."""
+        if self._num_edges == 0:
+            return float("nan")
+        return UNCOMPRESSED_BITS_PER_EDGE / self.bits_per_edge
+
+    # -- supersteps ------------------------------------------------------------
+
+    def expand(self, frontier, filter_fn) -> list[int]:
+        """One superstep: scatter the frontier, gather in canonical order.
+
+        Semantically identical to
+        :meth:`repro.traversal.gcgt.TraversalSession.expand` -- the filter
+        sees every live ``(source, neighbour)`` pair exactly once per
+        frontier occurrence of the source, sources in frontier order and
+        neighbours ascending -- so any frontier application runs unchanged.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        frontier = list(frontier)
+        if not frontier:
+            return []
+        groups = self.partition.split_frontier(frontier)
+        self.supersteps += 1
+        for shard in groups:
+            self.shard_touches[shard] += 1
+        results = self._scatter(groups)
+        step_costs = []
+        for collected, metrics in results.values():
+            self.kernel_metrics.merge(metrics)
+            step_costs.append(self.device.cost(metrics))
+        if step_costs:
+            self.critical_cost += max(step_costs)
+
+        assignment = self.partition.assignment
+        next_frontier: list[int] = []
+        for node in frontier:
+            shard = int(assignment[node])
+            neighbors = results[shard][0][node]
+            if not neighbors:
+                continue
+            self.exchange_volume += len(neighbors)
+            owners = assignment[np.asarray(neighbors, dtype=np.int64)]
+            self.boundary_messages += int((owners != shard).sum())
+            for neighbor in neighbors:
+                if filter_fn(node, neighbor):
+                    next_frontier.append(neighbor)
+        return next_frontier
+
+    def _scatter(self, groups: dict[int, list[int]]):
+        """Dispatch one expansion task per touched shard, backend-appropriately."""
+        if self.backend == "inline":
+            return {
+                shard: _expand_collect(self.engines[shard], nodes)
+                for shard, nodes in groups.items()
+            }
+        if self.backend == "thread":
+            assert self._thread_pool is not None
+            futures = {
+                shard: self._thread_pool.submit(
+                    _expand_collect, self.engines[shard], nodes
+                )
+                for shard, nodes in groups.items()
+            }
+        else:
+            futures = {
+                shard: self._process_pools[shard].submit(
+                    _process_worker_expand, nodes
+                )
+                for shard, nodes in groups.items()
+            }
+        return {shard: future.result() for shard, future in futures.items()}
+
+    # -- superstep-native BFS --------------------------------------------------
+
+    def bfs(self, source: int) -> BFSResult:
+        """Sharded BFS with shard-side admission and candidate exchange.
+
+        Unlike the generic :meth:`expand` path (which ships every decoded
+        edge to the coordinator so arbitrary filters replay in canonical
+        order), BFS admission is distance-determined, so each shard admits
+        and levels its own nodes locally and the frontier exchange carries
+        only deduplicated *discovered node ids* -- the message volume is
+        bounded by nodes per level, not edges.  This is the path the
+        shard-throughput benchmark gates; levels, iterations and visited
+        counts are bit-identical to ``bfs(engine, source)`` on the
+        unsharded engine.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if not 0 <= source < self.num_nodes:
+            raise IndexError(
+                f"source {source} out of range [0, {self.num_nodes})"
+            )
+        assignment = self.partition.assignment
+        self._bfs_reset()
+        candidates: dict[int, np.ndarray] = {
+            int(assignment[source]): np.asarray([source], dtype=np.int64)
+        }
+        level = 0
+        iterations = 0
+        while candidates:
+            self.supersteps += 1
+            for shard, nodes in candidates.items():
+                self.shard_touches[shard] += 1
+                self.exchange_volume += len(nodes)
+            results = self._bfs_dispatch(candidates, level)
+            total_admitted = 0
+            step_costs = [0.0]
+            gathered: list[np.ndarray] = []
+            for shard, (targets, admitted, metrics) in results.items():
+                total_admitted += admitted
+                if metrics is not None:
+                    self.kernel_metrics.merge(metrics)
+                    step_costs.append(self.device.cost(metrics))
+                if len(targets):
+                    gathered.append(targets)
+                    self.exchange_volume += len(targets)
+                    self.boundary_messages += int(
+                        (assignment[targets] != shard).sum()
+                    )
+            self.critical_cost += max(step_costs)
+            if total_admitted:
+                iterations += 1
+            candidates = {}
+            if gathered:
+                frontier = np.unique(np.concatenate(gathered))
+                owners = assignment[frontier]
+                for shard in np.unique(owners):
+                    candidates[int(shard)] = frontier[owners == shard]
+            level += 1
+        return BFSResult(
+            source=source, levels=self._bfs_collect_levels(), iterations=iterations
+        )
+
+    def _bfs_reset(self) -> None:
+        """Clear per-shard BFS state before a fresh traversal."""
+        if self.backend == "process":
+            futures = [
+                pool.submit(_process_worker_bfs_reset)
+                for pool in self._process_pools
+            ]
+            for future in futures:
+                future.result()
+        else:
+            self._bfs_levels = [
+                np.full(self.num_nodes, UNREACHED, dtype=np.int64)
+                for _ in range(self.num_shards)
+            ]
+
+    def _bfs_dispatch(
+        self, candidates: dict[int, np.ndarray], level: int
+    ) -> dict[int, tuple[np.ndarray, int, KernelMetrics | None]]:
+        """Run one BFS superstep on every shard with incoming candidates."""
+        if self.backend == "inline":
+            return {
+                shard: _bfs_step(
+                    self.engines[shard], self._bfs_levels[shard], nodes, level
+                )
+                for shard, nodes in candidates.items()
+            }
+        if self.backend == "thread":
+            assert self._thread_pool is not None
+            futures = {
+                shard: self._thread_pool.submit(
+                    _bfs_step,
+                    self.engines[shard],
+                    self._bfs_levels[shard],
+                    nodes,
+                    level,
+                )
+                for shard, nodes in candidates.items()
+            }
+        else:
+            futures = {
+                shard: self._process_pools[shard].submit(
+                    _process_worker_bfs_step, nodes, level
+                )
+                for shard, nodes in candidates.items()
+            }
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def _bfs_collect_levels(self) -> np.ndarray:
+        """Merge per-shard level arrays, each authoritative for its owned nodes."""
+        levels = np.full(self.num_nodes, UNREACHED, dtype=np.int64)
+        if self.backend == "process":
+            futures = [
+                pool.submit(_process_worker_bfs_levels)
+                for pool in self._process_pools
+            ]
+            shard_levels = [future.result() for future in futures]
+        else:
+            shard_levels = self._bfs_levels
+        for shard, owned in enumerate(self.partition.shard_nodes):
+            levels[owned] = shard_levels[shard][owned]
+        return levels
+
+    # -- work accounting -------------------------------------------------------
+
+    def cost(self) -> float:
+        """Simulated total-work cost accumulated across every shard engine."""
+        return self.device.cost(self.kernel_metrics)
+
+    def elapsed_proxy(self) -> float:
+        """Accumulated cost divided by the device's warp-level parallelism."""
+        return self.device.elapsed_proxy(self.kernel_metrics)
+
+    def critical_elapsed_proxy(self) -> float:
+        """Superstep critical-path cost over the device's warp parallelism.
+
+        The parallel analogue of :meth:`elapsed_proxy`: per superstep only
+        the slowest shard is charged, modelling one worker per shard.
+        """
+        return self.critical_cost / max(1, self.device.concurrent_warps)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Modelled speedup of shard-parallel execution over serial execution:
+        total accumulated work divided by the superstep critical path (1.0
+        while no work has run)."""
+        if self.critical_cost <= 0:
+            return 1.0
+        return self.cost() / self.critical_cost
+
+    def counters(self) -> ShardCounters:
+        """Freeze the exchange counters (for per-query delta attribution)."""
+        return ShardCounters(
+            supersteps=self.supersteps,
+            exchange_volume=self.exchange_volume,
+            boundary_messages=self.boundary_messages,
+            shard_touches=tuple(self.shard_touches),
+            cost=self.cost(),
+            elapsed_proxy=self.elapsed_proxy(),
+        )
+
+    # -- updates ---------------------------------------------------------------
+
+    def apply_updates(self, updates) -> UpdateStats:
+        """Route an edge-update batch to owner shards and absorb it.
+
+        Each update lands on the shard owning its *source* node (where the
+        edge is stored), applied through that shard's delta overlay -- no
+        shard is ever re-encoded.  Relative order of updates to the same
+        source is preserved (they share a shard), which is all the batch
+        semantics depend on: updates to different sources commute.  The
+        whole batch is range-validated before any shard mutates, so a
+        rejected batch is all-or-nothing, exactly like the single-graph
+        overlay.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        batch = coerce_updates(updates)
+        num_nodes = self.num_nodes
+        for update in batch:
+            for node in (update.source, update.target):
+                if not 0 <= node < num_nodes:
+                    raise ValueError(
+                        f"node {node} out of range [0, {num_nodes})"
+                    )
+        sub_batches: dict[int, list[EdgeUpdate]] = {}
+        assignment = self.partition.assignment
+        for update in batch:
+            sub_batches.setdefault(
+                int(assignment[update.source]), []
+            ).append(update)
+
+        total = UpdateStats()
+        if self.backend == "process":
+            futures = {
+                shard: self._process_pools[shard].submit(
+                    _process_worker_apply, sub_batch
+                )
+                for shard, sub_batch in sub_batches.items()
+            }
+            for shard, future in futures.items():
+                total.merge(future.result())
+            self._refresh_live_bits()
+        else:
+            for shard, sub_batch in sub_batches.items():
+                stats = self.overlays[shard].apply(sub_batch)
+                for node in stats.touched_nodes:
+                    self.plan_caches[shard].invalidate(node)
+                total.merge(stats)
+        if total.changed:
+            self._epoch += 1
+        self._num_edges += total.inserted - total.deleted
+        return total
+
+    # -- materialisation -------------------------------------------------------
+
+    def adjacency(self) -> list[list[int]]:
+        """Every node's merged live adjacency (updates applied), node order.
+
+        On the process backend this decodes through one scatter per node
+        block, so it is a test/checkpoint path, not a serving path.
+        """
+        if self.backend == "process":
+            merged: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for shard, nodes in enumerate(self.partition.shard_nodes):
+                node_list = [int(n) for n in nodes]
+                if not node_list:
+                    continue
+                collected, _ = self._process_pools[shard].submit(
+                    _process_worker_expand, node_list
+                ).result()
+                for node in node_list:
+                    merged[node] = collected[node]
+            return merged
+        owner_of = self.partition.assignment
+        return [
+            self.overlays[int(owner_of[node])].neighbors(node)
+            for node in range(self.num_nodes)
+        ]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut worker pools down; the executor cannot expand afterwards.
+
+        Size/compression introspection stays available: the process backend
+        snapshots its workers' live-bit count before the pools go away.
+        """
+        if self._closed:
+            return
+        if self.backend == "process":
+            try:
+                self._refresh_live_bits()
+            except Exception:  # pragma: no cover - already-broken pools
+                pass
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+        for pool in self._process_pools:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardExecutor(shards={self.num_shards}, backend={self.backend!r}, "
+            f"supersteps={self.supersteps}, exchange={self.exchange_volume})"
+        )
+
+
+__all__ = ["BACKENDS", "ShardCounters", "ShardExecutor"]

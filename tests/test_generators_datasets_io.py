@@ -108,6 +108,29 @@ class TestDatasets:
         assert csr > 5 * cgr
         assert spec.stored_edges_at_paper_scale() < spec.paper_edge_count
 
+    def test_projected_footprint_models_shard_replication(self):
+        spec = DATASETS["uk-2007"]
+        single = spec.projected_footprint_bytes(bits_per_edge=2.0)
+        assert spec.projected_footprint_bytes(bits_per_edge=2.0, num_shards=1) == single
+        sharded = spec.projected_footprint_bytes(bits_per_edge=2.0, num_shards=4)
+        # Per-shard node arrays plus the boundary-edge table cost extra...
+        expected_extra = (
+            spec.paper_node_count * 8 * 3
+            + spec.stored_edges_at_paper_scale() * (1 - 1 / 4) * 16
+        )
+        assert sharded == pytest.approx(single + expected_extra, rel=1e-6)
+        # ...and a low-cut partitioner projects smaller than the hash default.
+        low_cut = spec.projected_footprint_bytes(
+            bits_per_edge=2.0, num_shards=4, boundary_edge_fraction=0.1
+        )
+        assert single < low_cut < sharded
+        with pytest.raises(ValueError, match="num_shards"):
+            spec.projected_footprint_bytes(bits_per_edge=2.0, num_shards=0)
+        with pytest.raises(ValueError, match="boundary_edge_fraction"):
+            spec.projected_footprint_bytes(
+                bits_per_edge=2.0, num_shards=2, boundary_edge_fraction=1.5
+            )
+
 
 class TestEdgeListIO:
     def test_write_then_read_round_trip(self, tiny_graph, tmp_path):

@@ -332,3 +332,52 @@ def test_service_is_faster_than_per_query_engines_and_answers_match(three_graphs
         f"= {speedup:.1f}x; expected a clear amortization win "
         "(strict 2x bar is benchmarks/test_service_throughput.py)"
     )
+
+
+# ---------------------------------------------------------------------------
+# Per-graph compression accounting in ServiceStats
+# ---------------------------------------------------------------------------
+
+class TestBitsPerEdgeAccounting:
+    def test_stats_report_live_bits_per_registered_graph(self, three_graphs):
+        from repro.dynamic import EdgeUpdate
+
+        service = TraversalService()
+        for name, graph in three_graphs.items():
+            service.register_graph(name, graph)
+        stats = service.stats()
+        assert set(stats.bits_per_edge) == set(three_graphs)
+        for name in three_graphs:
+            entry = service.registry.resolve(name)
+            expected = entry.overlay.live_bits / entry.overlay.num_edges
+            assert stats.bits_per_edge[name] == pytest.approx(expected)
+            assert 0 < stats.bits_per_edge[name] < 32
+
+        # Updates append to the overlay side stream: the per-graph figure
+        # must track live bits (base + side stream), not the frozen base.
+        before = stats.bits_per_edge["social"]
+        service.apply_updates(
+            "social", [EdgeUpdate.insert(0, 140), EdgeUpdate.insert(0, 141)]
+        )
+        after = service.stats().bits_per_edge["social"]
+        assert after != before
+        entry = service.registry.resolve("social")
+        assert after == pytest.approx(
+            entry.overlay.live_bits / entry.overlay.num_edges
+        )
+
+    def test_sharded_entry_sums_bits_across_shards(self, three_graphs):
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"], shards=3)
+        entry = service.registry.resolve("web")
+        stats = service.stats()
+        expected = sum(
+            overlay.live_bits for overlay in entry.executor.overlays
+        ) / entry.num_edges
+        assert stats.bits_per_edge["web"] == pytest.approx(expected)
+        # The per-shard streams replicate headers, so the aggregate rate is
+        # above a single stream's, and still far below uncompressed CSR.
+        single = TraversalService()
+        single.register_graph("web", three_graphs["web"])
+        assert stats.bits_per_edge["web"] > single.stats().bits_per_edge["web"]
+        assert stats.bits_per_edge["web"] < 32
