@@ -1,0 +1,58 @@
+"""Cold-start gate: loading a stored graph vs re-encoding from adjacency.
+
+The acceptance bar of the persistent store (:mod:`repro.store`): bringing a
+Table-1-style synthetic graph back to resident, queryable form must be at
+least ``STORE_SPEEDUP_MIN`` times faster through
+:func:`repro.store.read_graph_file` (header/CRC validation plus a bulk wrap
+of the packed word payload -- zero re-encoding) than through
+:meth:`CGRGraph.from_adjacency` (the full encode every process start paid
+before the store existed), with the loaded graph verified indistinguishable
+from the encoded one.
+
+The threshold defaults to the full 10x gate; the CI perf-smoke job runs
+this file on every PR with ``STORE_SPEEDUP_MIN=5`` so I/O-path regressions
+fail fast without making quick CI hostage to shared-runner noise, while the
+slow-benchmarks job keeps the full bar.
+
+``scripts/record_bench.py --only store`` runs the same measurement and
+records the numbers into ``BENCH_store.json`` so the cold-start trajectory
+is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.store_bench import STORE_BENCH_DATASETS, run_store_benchmark
+
+#: Default (full-gate) cold-start speedup the store must deliver.
+FULL_GATE_SPEEDUP = 10.0
+
+
+def _threshold() -> float:
+    return float(os.environ.get("STORE_SPEEDUP_MIN", FULL_GATE_SPEEDUP))
+
+
+def test_store_load_is_multiples_faster_than_reencode(run_once):
+    threshold = _threshold()
+    results = run_once(run_store_benchmark)
+
+    assert [r.dataset for r in results] == list(STORE_BENCH_DATASETS)
+    # The gate is the aggregate cold-start cost over the whole sweep;
+    # additionally no single dataset may fall far behind (per-family numbers
+    # live in BENCH_store.json for trend tracking).
+    total_load = sum(r.load_seconds for r in results)
+    total_encode = sum(r.encode_seconds for r in results)
+    aggregate = total_encode / total_load
+    assert aggregate >= threshold, (
+        f"aggregate store-load speedup {aggregate:.1f}x across "
+        f"{len(results)} datasets, need >= {threshold:.1f}x"
+    )
+    for result in results:
+        assert result.edges > 0
+        assert result.file_bytes > 0
+        assert result.speedup >= 0.75 * threshold, (
+            f"{result.dataset}: load {result.load_seconds * 1e3:.2f} ms vs "
+            f"encode {result.encode_seconds * 1e3:.2f} ms -- only "
+            f"{result.speedup:.1f}x, need >= {0.75 * threshold:.1f}x"
+        )

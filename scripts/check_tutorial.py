@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Execute every Python code block of ``docs/TUTORIAL.md`` in order.
+
+The tutorial promises that its blocks are runnable top to bottom in one
+session; this script enforces it.  Every fenced block opened with
+`` ```python `` is extracted, then executed sequentially in one shared
+namespace (so later blocks see earlier blocks' variables, exactly as a
+reader pasting them into one REPL would).  Other fence languages (``bash``,
+``text``, ``json``) are ignored.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_tutorial.py            # run the blocks
+    PYTHONPATH=src python scripts/check_tutorial.py --list     # show them only
+
+Any exception -- including a failing ``assert``, which the tutorial uses to
+state verifiable claims -- aborts with the offending block's number and
+line, so the CI docs job catches a stale tutorial the moment the library
+drifts from the prose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+TUTORIAL = REPO_ROOT / "docs" / "TUTORIAL.md"
+
+#: A fenced python block: ```python ... ``` (non-greedy, multiline).
+BLOCK_PATTERN = re.compile(r"^```python\n(.*?)^```", re.MULTILINE | re.DOTALL)
+
+
+def extract_blocks(path: Path) -> list[tuple[int, str]]:
+    """Every ```python`` block as ``(starting line number, source)``."""
+    text = path.read_text(encoding="utf-8")
+    blocks: list[tuple[int, str]] = []
+    for match in BLOCK_PATTERN.finditer(text):
+        line = text.count("\n", 0, match.start(1)) + 1
+        blocks.append((line, match.group(1)))
+    return blocks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the extracted blocks instead of executing them",
+    )
+    args = parser.parse_args()
+
+    blocks = extract_blocks(TUTORIAL)
+    if not blocks:
+        print(f"check-tutorial: no python blocks found in {TUTORIAL}",
+              file=sys.stderr)
+        return 2
+
+    if args.list:
+        for index, (line, source) in enumerate(blocks, start=1):
+            print(f"--- block {index} (line {line}) ---")
+            print(source)
+        return 0
+
+    namespace: dict = {"__name__": "__tutorial__"}
+    for index, (line, source) in enumerate(blocks, start=1):
+        # Compile with the real file/line so tracebacks point into the doc.
+        padded = "\n" * (line - 1) + source
+        try:
+            code = compile(padded, str(TUTORIAL), "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception:
+            print(
+                f"check-tutorial: block {index} (line {line}) failed:",
+                file=sys.stderr,
+            )
+            import traceback
+            traceback.print_exc()
+            return 1
+        print(f"check-tutorial: block {index} (line {line}) ok")
+    print(f"check-tutorial: {len(blocks)} block(s) executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

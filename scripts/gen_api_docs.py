@@ -42,6 +42,7 @@ PACKAGES = [
     "repro.service",
     "repro.dynamic",
     "repro.shard",
+    "repro.store",
     "repro.bench",
 ]
 

@@ -84,10 +84,32 @@ def record_shard() -> dict:
     }
 
 
+def record_store() -> dict:
+    """The store cold-start benchmark (see ``repro.bench.store_bench``)."""
+    from repro.bench.store_bench import STORE_BENCH_SCALE, run_store_benchmark
+
+    results = run_store_benchmark()
+    return {
+        "benchmark": "store_throughput",
+        "unit": "seconds to a resident CGRGraph, cold start",
+        "baseline": "full CGR re-encode from adjacency (CGRGraph.from_adjacency)",
+        "candidate": "zero-copy graph-file load (repro.store.read_graph_file)",
+        "scale_nodes": STORE_BENCH_SCALE,
+        "results": [r.as_row() for r in results],
+        "min_speedup": round(min(r.speedup for r in results), 2),
+        "aggregate_speedup": round(
+            sum(r.encode_seconds for r in results)
+            / sum(r.load_seconds for r in results),
+            2,
+        ),
+    }
+
+
 #: name -> recorder; each returns the JSON document for BENCH_<name>.json.
 BENCHMARKS = {
     "decode": record_decode,
     "shard": record_shard,
+    "store": record_store,
 }
 
 
@@ -153,6 +175,11 @@ def main() -> int:
                 detail = (
                     f"{row['packed_edges_per_sec']:,.0f} e/s packed vs "
                     f"{row['naive_edges_per_sec']:,.0f} e/s seed"
+                )
+            elif "load_seconds" in row:
+                detail = (
+                    f"load {row['load_seconds'] * 1e3:.2f} ms vs "
+                    f"encode {row['encode_seconds'] * 1e3:.2f} ms"
                 )
             else:
                 detail = (

@@ -32,6 +32,11 @@ it depends on, in pure Python:
   process-backed -- with results independent of the partitioning and shard
   count (BFS/CC bit-identical to the unsharded engine, float apps
   canonical-order exact);
+* :mod:`repro.store` -- the persistence tier: a versioned binary format for
+  encoded graphs (loaded back by wrapping the packed words -- zero
+  re-encoding), bit-exact delta-overlay serialization, and Iceberg-style
+  epoch snapshots, fronted by ``TraversalService.save_graph`` /
+  ``load_graph`` so a restarted service resumes with identical answers;
 * :mod:`repro.bench` -- the harness regenerating every table and figure of
   the paper's evaluation (its GCGT bars run through the service).
 
@@ -51,6 +56,12 @@ Evolving graphs -- apply updates between queries, no re-encode::
 
     service.apply_updates("uk", [EdgeUpdate.insert(0, 9), EdgeUpdate.delete(3, 4)])
     [fresh] = service.submit([BFSQuery("uk", source=0)])  # sees the new edge
+
+Restarts -- snapshot to disk, load back without re-encoding::
+
+    service.save_graph("uk", "snapshots/uk")
+    restarted = TraversalService()
+    restarted.load_graph("snapshots/uk")   # bit-identical serving state
 
 For a single ad-hoc traversal the engine surface is still there::
 
@@ -97,7 +108,7 @@ from repro.shard import (
     ShardedCGRGraph,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CGRConfig",

@@ -39,6 +39,7 @@ class BFSResult:
         return int(reached.max()) if len(reached) else 0
 
     def level_of(self, node: int) -> int:
+        """The discovery level of ``node`` (``UNREACHED`` when unvisited)."""
         return int(self.levels[node])
 
 

@@ -30,9 +30,11 @@ class CCResult:
 
     @property
     def num_components(self) -> int:
+        """Number of distinct component labels."""
         return int(len(np.unique(self.labels)))
 
     def same_component(self, a: int, b: int) -> bool:
+        """Whether ``a`` and ``b`` carry the same component label."""
         return bool(self.labels[a] == self.labels[b])
 
 

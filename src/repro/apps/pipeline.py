@@ -16,11 +16,19 @@ class FrontierEngine(Protocol):
     """The engine interface the applications program against."""
 
     @property
-    def num_nodes(self) -> int: ...
+    def num_nodes(self) -> int:
+        """Number of nodes in the engine's resident graph."""
+        ...
 
     def expand(
         self, frontier: Sequence[int], filter_fn: Callable[[int, int], bool]
-    ) -> list[int]: ...
+    ) -> list[int]:
+        """One expansion step: the admitted neighbours of ``frontier``.
+
+        ``filter_fn(source, neighbor)`` sees every live decoded pair; a
+        ``True`` return admits the neighbour into the returned next frontier.
+        """
+        ...
 
 
 def run_frontier_pipeline(

@@ -43,6 +43,7 @@ class CPUMetrics:
     iterations: int = 0
 
     def merge(self, other: "CPUMetrics") -> None:
+        """Fold another metrics record into this one."""
         self.edge_ops += other.edge_ops
         self.memory_ops += other.memory_ops
         self.decode_ops += other.decode_ops
@@ -157,6 +158,7 @@ class LigraPlusEngine(_CPUFrontierEngine):
 
     @property
     def compression_rate(self) -> float:
+        """Compression rate of the byte-RLE adjacency actually traversed."""
         return self._compressed.compression_rate
 
     def _neighbors(self, node: int) -> Sequence[int]:

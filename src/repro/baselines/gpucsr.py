@@ -34,16 +34,19 @@ class GPUCSREngine:
 
     @classmethod
     def from_graph(cls, graph: Graph, device: GPUDevice | None = None) -> "GPUCSREngine":
+        """Build the engine from an uncompressed graph (CSR conversion included)."""
         return cls(CSRGraph.from_graph(graph), device=device)
 
     # -- graph facts -------------------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the resident CSR graph."""
         return self.csr.num_nodes
 
     @property
     def num_edges(self) -> int:
+        """Number of stored directed edges."""
         return self.csr.num_edges
 
     @property
@@ -52,6 +55,7 @@ class GPUCSREngine:
         return 1.0
 
     def reset_metrics(self) -> None:
+        """Discard accumulated kernel metrics (fresh measurement window)."""
         self.metrics = KernelMetrics()
 
     # -- traversal ------------------------------------------------------------------
@@ -114,7 +118,9 @@ class GPUCSREngine:
     # -- cost ---------------------------------------------------------------------------
 
     def cost(self) -> float:
+        """Simulated total-work cost of the accumulated kernel metrics."""
         return self.device.cost(self.metrics)
 
     def elapsed_proxy(self) -> float:
+        """Accumulated cost divided by the device's warp-level parallelism."""
         return self.device.elapsed_proxy(self.metrics)

@@ -43,32 +43,39 @@ class GunrockLikeEngine:
 
     @classmethod
     def from_graph(cls, graph: Graph, device: GPUDevice | None = None) -> "GunrockLikeEngine":
+        """Build the engine from an uncompressed graph (CSR conversion included)."""
         return cls(CSRGraph.from_graph(graph), device=device)
 
     # -- delegation --------------------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the resident CSR graph."""
         return self._inner.num_nodes
 
     @property
     def num_edges(self) -> int:
+        """Number of stored directed edges."""
         return self._inner.num_edges
 
     @property
     def compression_rate(self) -> float:
+        """CSR is the 32-bit-per-edge reference: rate 1.0."""
         return 1.0
 
     @property
     def metrics(self):
+        """The inner CSR engine's accumulated kernel metrics."""
         return self._inner.metrics
 
     def reset_metrics(self) -> None:
+        """Discard accumulated kernel metrics (fresh measurement window)."""
         self._inner.reset_metrics()
 
     def expand(
         self, frontier: Sequence[int], filter_fn: Callable[[int, int], bool]
     ) -> list[int]:
+        """One frontier expansion, with the framework's launch overhead charged."""
         result = self._inner.expand(frontier, filter_fn)
         # Framework overhead: extra kernel launches and frontier compaction.
         self._inner.metrics.instruction_rounds += FRAMEWORK_LAUNCH_OVERHEAD_ROUNDS
@@ -76,7 +83,9 @@ class GunrockLikeEngine:
         return result
 
     def cost(self) -> float:
+        """Simulated total-work cost of the accumulated kernel metrics."""
         return self._inner.cost()
 
     def elapsed_proxy(self) -> float:
+        """Accumulated cost divided by the device's warp-level parallelism."""
         return self._inner.elapsed_proxy()

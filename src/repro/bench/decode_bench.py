@@ -49,10 +49,12 @@ class DecodeBenchResult:
 
     @property
     def packed_edges_per_sec(self) -> float:
+        """Decode throughput of the packed/vectorized engine."""
         return self.edges / self.packed_seconds
 
     @property
     def naive_edges_per_sec(self) -> float:
+        """Decode throughput of the retained seed implementation."""
         return self.edges / self.naive_seconds
 
     @property

@@ -58,6 +58,7 @@ class ApproachResult:
     extra: dict | None = None
 
     def as_row(self) -> dict:
+        """A JSON/CSV-ready flat dict of the measured fields."""
         row = {
             "approach": self.approach,
             "dataset": self.dataset,

@@ -74,14 +74,37 @@ class PackedBits:
         total_bits = len(data) * 8
         if bit_length is None or bit_length > total_bits:
             bit_length = total_bits
+        padding = -len(data) % 8
+        padded = data + b"\x00" * padding if padding else data
+        return cls.from_buffer(padded, bit_length)
+
+    @classmethod
+    def from_buffer(cls, buffer, bit_length: int) -> "PackedBits":
+        """Wrap a word-aligned buffer of big-endian 64-bit words, copy-free.
+
+        ``buffer`` is anything the buffer protocol accepts (``bytes``,
+        ``memoryview``, an ``mmap`` region) whose length is a multiple of 8;
+        it is viewed through ``numpy.frombuffer`` -- no byte copy -- and
+        converted to storage words in one bulk pass.  This is the load path
+        of the persistent store (:mod:`repro.store`): a file's payload
+        section is exactly this word layout (see ``to_word_bytes``), so a
+        saved stream is reconstructed without decoding a single VLC code.
+        """
         if bit_length < 0:
             raise ValueError(f"bit_length must be non-negative, got {bit_length}")
+        view = memoryview(buffer)
+        if view.nbytes % 8:
+            raise ValueError(
+                f"buffer length {view.nbytes} is not a multiple of 8 bytes"
+            )
+        if bit_length > view.nbytes * 8:
+            raise ValueError(
+                f"bit_length {bit_length} exceeds buffer capacity {view.nbytes * 8}"
+            )
         obj = cls()
         if bit_length == 0:
             return obj
-        padding = -len(data) % 8
-        padded = data + b"\x00" * padding if padding else data
-        words = np.frombuffer(padded, dtype=">u8").tolist()
+        words = np.frombuffer(view, dtype=">u8").tolist()
         full = bit_length >> 6
         obj._words = words[:full]
         rem = bit_length & 63
@@ -294,6 +317,19 @@ class PackedBits:
             nbytes = (acc_bits + 7) >> 3
             out += (self._acc << ((nbytes << 3) - acc_bits)).to_bytes(nbytes, "big")
         return bytes(out)
+
+    def to_word_bytes(self) -> bytes:
+        """The stream as whole big-endian 64-bit words, zero-padded at the end.
+
+        Unlike :meth:`to_bytes` (which pads to a byte boundary), the output
+        length is a multiple of 8, which makes it directly loadable by
+        :meth:`from_buffer` with no intermediate padding copy.  This is the
+        payload layout of the persistent store's file format.
+        """
+        words = self._words
+        if self._acc_bits:
+            words = words + [self._acc << (WORD_BITS - self._acc_bits)]
+        return np.array(words, dtype=">u8").tobytes()
 
     def to_bitlist(self) -> list[int]:
         """The bits as a list of 0/1 integers (compat shim for tests).

@@ -101,6 +101,36 @@ class CGRConfig:
         """The configuration of Table 2: zeta3, min interval 4, 32-byte segments."""
         return cls(vlc_scheme="zeta3", min_interval_length=4, residual_segment_bits=256)
 
+    def to_dict(self) -> dict:
+        """A JSON-safe description of the encoding parameters.
+
+        ``min_interval_length=inf`` (intervals disabled) becomes the string
+        ``"inf"`` because JSON has no infinity literal; ``None`` segment bits
+        (segmentation disabled) stay ``null``.  The persistent store
+        (:mod:`repro.store`) embeds this in every graph file so a reader can
+        decode the payload without out-of-band knowledge.
+        """
+        min_interval = self.min_interval_length
+        return {
+            "vlc_scheme": self.vlc_scheme,
+            "min_interval_length": (
+                "inf" if min_interval == float("inf") else int(min_interval)
+            ),
+            "residual_segment_bits": self.residual_segment_bits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CGRConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        min_interval = data["min_interval_length"]
+        if min_interval == "inf":
+            min_interval = float("inf")
+        return cls(
+            vlc_scheme=data["vlc_scheme"],
+            min_interval_length=min_interval,
+            residual_segment_bits=data["residual_segment_bits"],
+        )
+
 
 @dataclass
 class NodeLayout:
@@ -121,10 +151,12 @@ class NodeLayout:
 
     @property
     def interval_coverage(self) -> int:
+        """Neighbours covered by intervals."""
         return sum(interval.length for interval in self.intervals)
 
     @property
     def residual_count(self) -> int:
+        """Neighbours stored as residuals."""
         return len(self.residuals)
 
 

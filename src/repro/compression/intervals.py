@@ -45,10 +45,12 @@ class IntervalResidualForm:
 
     @property
     def interval_count(self) -> int:
+        """Number of intervals in the split."""
         return len(self.intervals)
 
     @property
     def residual_count(self) -> int:
+        """Number of residual neighbours in the split."""
         return len(self.residuals)
 
     @property

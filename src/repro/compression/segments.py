@@ -26,10 +26,12 @@ class SegmentedResiduals:
 
     @property
     def segment_count(self) -> int:
+        """Number of residual segments."""
         return len(self.segment_bit_offsets)
 
     @property
     def total_residuals(self) -> int:
+        """Residuals summed over every segment."""
         return sum(self.segment_residual_counts)
 
     @classmethod

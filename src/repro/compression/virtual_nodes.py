@@ -47,14 +47,17 @@ class VirtualNodeGraph:
 
     @property
     def num_total_nodes(self) -> int:
+        """Real plus virtual node count."""
         return len(self.adjacency)
 
     @property
     def num_virtual_nodes(self) -> int:
+        """Number of virtual nodes introduced by the factorization."""
         return len(self.virtual_members)
 
     @property
     def compressed_edge_count(self) -> int:
+        """Edges stored after factorization (real + virtual adjacency)."""
         return sum(len(neighbors) for neighbors in self.adjacency)
 
     @property

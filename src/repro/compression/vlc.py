@@ -219,6 +219,7 @@ class GammaStreamDecoder(StreamDecoder):
     __slots__ = ()
 
     def run_positions(self, count: int) -> tuple[list[int], list[int]]:
+        """Decode ``count`` gamma codes; return (values, end offsets)."""
         extract = self._extract
         total = self._total
         position = self.position
@@ -263,6 +264,7 @@ class DeltaStreamDecoder(StreamDecoder):
     __slots__ = ()
 
     def run_positions(self, count: int) -> tuple[list[int], list[int]]:
+        """Decode ``count`` delta codes; return (values, end offsets)."""
         extract = self._extract
         total = self._total
         position = self.position
@@ -328,6 +330,7 @@ class ZetaStreamDecoder(StreamDecoder):
         self._k = k
 
     def run_positions(self, count: int) -> tuple[list[int], list[int]]:
+        """Decode ``count`` zeta codes; return (values, end offsets)."""
         k = self._k
         extract = self._extract
         total = self._total

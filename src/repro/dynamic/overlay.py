@@ -159,6 +159,7 @@ class NodeDelta:
 
     @property
     def empty(self) -> bool:
+        """Whether the delta carries no pending mutations at all."""
         return not self.inserts and not self.tombstones
 
 
@@ -526,6 +527,137 @@ class DeltaOverlay:
             if self.compact(node):
                 count += 1
         return count
+
+    # -- persistence -----------------------------------------------------------
+
+    @property
+    def side_stream(self) -> PackedBits:
+        """The append-only side stream (read-only by convention).
+
+        Exposed for the persistent store (:mod:`repro.store`), which writes
+        the stream's words verbatim into a delta file; everything else
+        should read through :attr:`bits`.
+        """
+        return self._side
+
+    def state_dict(self) -> dict:
+        """JSON-safe structural state: everything except the side stream.
+
+        Together with the side stream's words (written separately, see
+        :attr:`side_stream`) this captures the overlay exactly:
+        :meth:`from_state` rebuilds an overlay whose merged adjacency,
+        epochs, extents, pending deltas *and bit-level layout* are identical
+        to this one, so traversal plans -- and therefore simulated costs --
+        are reproduced bit for bit after a restore.
+        """
+        deltas = []
+        for node in sorted(self._deltas):
+            delta = self._deltas[node]
+            run = delta.run
+            encoded_run = None
+            if run is not None:
+                segment = run.segment
+                encoded_run = {
+                    "version": run.version,
+                    "total_bits": run.total_bits,
+                    "segment": {
+                        "data_start_bit": segment.data_start_bit,
+                        "count": segment.count,
+                        "count_bits": segment.count_bits,
+                        "decoded": [list(entry) for entry in segment.decoded],
+                    },
+                }
+            deltas.append({
+                "node": node,
+                "inserts": sorted(delta.inserts),
+                "tombstones": sorted(delta.tombstones),
+                "inserts_version": delta.inserts_version,
+                "run": encoded_run,
+            })
+        return {
+            "epoch": self.epoch,
+            "num_edges": self._num_edges,
+            "garbage_bits": self.garbage_bits,
+            "compactions": self.compactions,
+            "updates_applied": self.updates_applied,
+            "updates_ignored": self.updates_ignored,
+            "node_epochs": [
+                [node, epoch] for node, epoch in sorted(self._node_epochs.items())
+            ],
+            "extents": [
+                [node, extent.start_bit, extent.bit_length, extent.degree]
+                for node, extent in sorted(self._extents.items())
+            ],
+            "deltas": deltas,
+            "side_bit_length": len(self._side),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        base: CGRGraph,
+        state: dict,
+        side: PackedBits,
+        policy: CompactionPolicy | None = None,
+    ) -> "DeltaOverlay":
+        """Rebuild an overlay from :meth:`state_dict` output plus its side
+        stream, without replaying any update.
+
+        ``side`` must hold exactly the bits the snapshotted overlay's side
+        stream held (``state["side_bit_length"]`` of them); every restored
+        extent and insert run references absolute offsets into the spliced
+        stream, so the splice layout must match bit for bit.
+        """
+        if len(side) != state["side_bit_length"]:
+            raise ValueError(
+                f"side stream holds {len(side)} bits, state expects "
+                f"{state['side_bit_length']}"
+            )
+        overlay = cls(base, policy=policy)
+        writer = BitWriter()
+        writer.extend(side)
+        overlay._side = writer
+        overlay._bits = SplicedBits(base.bits, writer)
+        overlay.epoch = state["epoch"]
+        overlay._num_edges = state["num_edges"]
+        overlay.garbage_bits = state["garbage_bits"]
+        overlay.compactions = state["compactions"]
+        overlay.updates_applied = state["updates_applied"]
+        overlay.updates_ignored = state["updates_ignored"]
+        overlay._node_epochs = {
+            int(node): int(epoch) for node, epoch in state["node_epochs"]
+        }
+        overlay._extents = {
+            int(node): _Extent(
+                start_bit=int(start), bit_length=int(bits), degree=int(degree)
+            )
+            for node, start, bits, degree in state["extents"]
+        }
+        for record in state["deltas"]:
+            delta = NodeDelta(
+                inserts=set(int(v) for v in record["inserts"]),
+                tombstones=set(int(v) for v in record["tombstones"]),
+                inserts_version=int(record["inserts_version"]),
+            )
+            encoded_run = record["run"]
+            if encoded_run is not None:
+                segment = encoded_run["segment"]
+                delta.run = _InsertRun(
+                    version=int(encoded_run["version"]),
+                    total_bits=int(encoded_run["total_bits"]),
+                    segment=ResidualSegmentPlan(
+                        data_start_bit=int(segment["data_start_bit"]),
+                        count=int(segment["count"]),
+                        count_bits=int(segment["count_bits"]),
+                        decoded=tuple(
+                            (int(n), int(s), int(b))
+                            for n, s, b in segment["decoded"]
+                        ),
+                    ),
+                )
+            overlay._deltas[int(record["node"])] = delta
+            overlay._tombstone_total += len(delta.tombstones)
+        return overlay
 
     # -- introspection ---------------------------------------------------------
 

@@ -74,10 +74,12 @@ class CSRGraph:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes."""
         return len(self.indptr) - 1
 
     @property
     def num_edges(self) -> int:
+        """Number of stored directed edges."""
         return len(self.indices)
 
     def neighbors(self, node: int) -> np.ndarray:
@@ -86,10 +88,12 @@ class CSRGraph:
         return self.indices[self.indptr[node]:self.indptr[node + 1]]
 
     def degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
         self._check_node(node)
         return int(self.indptr[node + 1] - self.indptr[node])
 
     def degrees(self) -> np.ndarray:
+        """Every node's out-degree as one array."""
         return np.diff(self.indptr)
 
     def to_graph(self) -> Graph:

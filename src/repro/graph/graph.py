@@ -28,6 +28,7 @@ class DegreeStats:
 
     @classmethod
     def from_degrees(cls, degrees: Sequence[int]) -> "DegreeStats":
+        """Summarise a degree sequence (all-zero stats when empty)."""
         if len(degrees) == 0:
             return cls(0, 0, 0.0, 0.0)
         array = np.asarray(degrees)
@@ -95,14 +96,17 @@ class Graph:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes."""
         return len(self._adjacency)
 
     @property
     def num_edges(self) -> int:
+        """Number of stored directed edges."""
         return sum(len(neighbors) for neighbors in self._adjacency)
 
     @property
     def average_degree(self) -> float:
+        """Mean out-degree (0.0 for the empty graph)."""
         if self.num_nodes == 0:
             return 0.0
         return self.num_edges / self.num_nodes
@@ -113,10 +117,12 @@ class Graph:
         return list(self._adjacency[node])
 
     def out_degree(self, node: int) -> int:
+        """Out-degree of ``node``."""
         self._check_node(node)
         return len(self._adjacency[node])
 
     def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge ``source -> target`` exists."""
         self._check_node(source)
         neighbors = self._adjacency[source]
         lo, hi = 0, len(neighbors)
@@ -145,6 +151,7 @@ class Graph:
         return np.array([len(neighbors) for neighbors in self._adjacency], dtype=np.int64)
 
     def degree_stats(self) -> DegreeStats:
+        """Min/max/mean/median summary of the degree sequence."""
         return DegreeStats.from_degrees(self.degrees())
 
     # -- transformations ----------------------------------------------------

@@ -34,6 +34,13 @@ def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
     Lines starting with ``#`` or ``%`` are treated as comments; a
     ``# nodes=<V> ...`` header, if present, fixes the node count.  Otherwise
     the node count is ``max node id + 1`` unless ``num_nodes`` is given.
+
+    Malformed inputs raise :class:`ValueError` with the offending line:
+    edge lines with fewer than two fields, negative node ids, and a
+    self-inconsistent header that declares fewer nodes than the largest
+    node id the edge list references (checked only when the header is
+    actually used -- an explicit ``num_nodes`` still overrides a stale
+    header, as documented above).
     """
     path = Path(path)
     edges: list[tuple[int, int]] = []
@@ -49,14 +56,25 @@ def read_edge_list(path: str | Path, num_nodes: int | None = None) -> Graph:
             parts = line.split()
             if len(parts) < 2:
                 raise ValueError(f"malformed edge line: {line!r}")
-            edges.append((int(parts[0]), int(parts[1])))
+            source, target = int(parts[0]), int(parts[1])
+            if source < 0 or target < 0:
+                raise ValueError(
+                    f"negative node id in edge line {line!r}; "
+                    "node ids must be non-negative"
+                )
+            edges.append((source, target))
     if num_nodes is None:
+        max_id = max(max(s, t) for s, t in edges) if edges else -1
         if declared_nodes is not None:
+            if declared_nodes <= max_id:
+                raise ValueError(
+                    f"header declares nodes={declared_nodes} but the edge "
+                    f"list references node id {max_id}; the header must "
+                    f"declare at least {max_id + 1} nodes"
+                )
             num_nodes = declared_nodes
-        elif edges:
-            num_nodes = max(max(s, t) for s, t in edges) + 1
         else:
-            num_nodes = 0
+            num_nodes = max_id + 1
     return Graph.from_edges(num_nodes, edges)
 
 

@@ -111,6 +111,7 @@ class RegisteredGraph:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the resident graph."""
         return self.graph.num_nodes
 
     @property
@@ -494,6 +495,77 @@ class GraphRegistry:
                     mirror.append(update)
                     mirror.append(update.reversed)
         return mirror
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot(
+        self,
+        name: str,
+        directory,
+        config: GCGTConfig | None = None,
+    ):
+        """Persist the entry serving ``name`` into a snapshot directory.
+
+        Writes (or, on later epochs, reuses) the immutable base graph
+        file(s), a delta file capturing the entry's current overlay state
+        bit for bit, and an Iceberg-style manifest (see
+        :mod:`repro.store.snapshot` and ``docs/FORMAT.md``).  The entry is
+        resolved like :meth:`resolve`; undirected CC siblings are derived
+        state and are rebuilt lazily after a restore.  Returns the manifest
+        path.  Sharded entries must run on the ``inline`` or ``thread``
+        backend (process workers' overlay state is not capturable).
+        """
+        from repro.store.snapshot import write_snapshot
+
+        return write_snapshot(self.resolve(name, config), directory)
+
+    def restore(
+        self,
+        location,
+        executor_backend: str = "inline",
+    ) -> RegisteredGraph:
+        """Load a snapshot back into this registry -- zero re-encoding.
+
+        ``location`` is a snapshot directory (its ``manifest.json`` is read)
+        or an explicit manifest path (pass an epoch-tagged manifest for time
+        travel).  The base payload is wrapped as-is
+        (:func:`repro.store.read_graph_file`), the overlay's side stream,
+        extents and pending deltas are restored exactly, and the entry is
+        registered under its snapshotted name and configuration --
+        ``encode_calls`` does not move, which is the whole point.  Raises
+        :class:`~repro.store.StoreError` if that ``(name, config)`` key is
+        already resident (use a fresh registry, or :meth:`replace` for new
+        data).
+        """
+        from repro.store.format import StoreError
+        from repro.store.snapshot import (
+            engine_config_from_dict,
+            read_manifest,
+            resolve_manifest_path,
+            restore_entry,
+        )
+
+        # Check the key against the manifest *before* loading anything, so a
+        # conflicting restore never builds (and leaks) engines or executors.
+        manifest_path = resolve_manifest_path(location)
+        manifest = read_manifest(manifest_path)
+        key = (manifest["name"], engine_config_from_dict(manifest["engine_config"]))
+        if key in self._entries:
+            raise StoreError(
+                f"graph {manifest['name']!r} is already registered under the "
+                "snapshot's configuration; restore into a fresh registry or "
+                "use replace() for new data"
+            )
+        entry = restore_entry(
+            manifest_path,
+            device=self.device,
+            cache_capacity=self.cache_capacity,
+            compaction_policy=self.compaction_policy,
+            executor_backend=executor_backend,
+            manifest=manifest,
+        )
+        self._entries[key] = entry
+        return entry
 
     # -- lookup ---------------------------------------------------------------
 

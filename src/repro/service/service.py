@@ -164,6 +164,40 @@ class TraversalService:
         """
         return self.registry.replace(name, graph, config)
 
+    # -- persistence ----------------------------------------------------------
+
+    def save_graph(
+        self,
+        name: str,
+        directory,
+        config: GCGTConfig | None = None,
+    ):
+        """Snapshot the resident graph ``name`` to disk; returns the manifest.
+
+        The snapshot captures the entry's full serving state -- the frozen
+        base encode (written once, reused across epochs) and the dynamic
+        overlay's bit-level state at the current epoch -- so a later
+        :meth:`load_graph` (typically in a fresh process) resumes serving
+        with bit-identical answers and simulated costs, without re-encoding
+        anything.  See :mod:`repro.store` and ``docs/FORMAT.md``.
+        """
+        return self.registry.snapshot(name, directory, config)
+
+    def load_graph(
+        self,
+        location,
+        executor_backend: str = "inline",
+    ) -> RegisteredGraph:
+        """Restore a saved graph into this service -- the restart path.
+
+        ``location`` is a snapshot directory or an explicit (possibly
+        epoch-tagged) manifest path.  The graph is registered under its
+        snapshotted name and configuration and is immediately queryable;
+        cold-start cost is file I/O plus a bulk word wrap, gated >=10x
+        cheaper than re-encoding by ``benchmarks/test_store_throughput.py``.
+        """
+        return self.registry.restore(location, executor_backend=executor_backend)
+
     # -- serving --------------------------------------------------------------
 
     def submit(self, queries: Sequence[Query]) -> list[QueryResult]:

@@ -258,6 +258,17 @@ class ShardExecutor:
             part must match how ``sharded`` was encoded).
         cache_capacity: per-shard decoded-plan cache capacity.
         compaction_policy: per-shard overlay compaction policy.
+        overlays: pre-built per-shard delta overlays to adopt instead of
+            wrapping fresh ones around the shard encodes -- the restore path
+            of the persistent store (:mod:`repro.store`), which rebuilds
+            overlays with their snapshotted side streams, extents and
+            pending deltas.  Each overlay must wrap the corresponding shard
+            of ``sharded``; only the ``inline`` and ``thread`` backends can
+            adopt overlays (process workers build their own state).
+        initial_epoch: coordinator mutation epoch to start from (a restored
+            executor resumes at the snapshot's epoch, so
+            :attr:`~repro.service.queries.QueryMetrics.graph_epoch` stays
+            monotone across a save/restore cycle).
     """
 
     def __init__(
@@ -269,11 +280,31 @@ class ShardExecutor:
         config: GCGTConfig | None = None,
         cache_capacity: int = 4096,
         compaction_policy: CompactionPolicy | None = None,
+        overlays: list[DeltaOverlay] | None = None,
+        initial_epoch: int = 0,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
+        if overlays is not None:
+            if backend == "process":
+                raise ValueError(
+                    "restored overlays require the 'inline' or 'thread' "
+                    "backend; process workers build their own state"
+                )
+            if len(overlays) != sharded.num_shards:
+                raise ValueError(
+                    f"got {len(overlays)} overlays for "
+                    f"{sharded.num_shards} shards"
+                )
+            for index, overlay in enumerate(overlays):
+                if overlay.base is not sharded.shards[index]:
+                    raise ValueError(
+                        f"overlay {index} does not wrap shard {index}'s "
+                        "encode; overlays must be built over the sharded "
+                        "graph's own streams"
+                    )
         self.sharded = sharded
         self.partition = sharded.partition
         self.backend = backend
@@ -293,7 +324,7 @@ class ShardExecutor:
         #: :attr:`~repro.service.queries.QueryMetrics.graph_epoch` means the
         #: same thing for every sharded registration.  (Per-shard overlays
         #: keep their own finer-grained epochs for plan-cache keying.)
-        self._epoch = 0
+        self._epoch = initial_epoch
         #: Last known aggregate live bits; kept current so the process
         #: backend can still report sizes after :meth:`close`.
         self._final_live_bits = sharded.total_bits
@@ -337,8 +368,11 @@ class ShardExecutor:
                     raise RuntimeError("shard worker failed to initialise")
         else:
             policy = compaction_policy or CompactionPolicy()
-            for shard_cgr in sharded.shards:
-                overlay = DeltaOverlay(shard_cgr, policy=policy)
+            for index, shard_cgr in enumerate(sharded.shards):
+                if overlays is not None:
+                    overlay = overlays[index]
+                else:
+                    overlay = DeltaOverlay(shard_cgr, policy=policy)
                 cache = DecodedAdjacencyCache(cache_capacity)
                 engine = GCGTEngine(
                     overlay, device=self.device, config=self.config,
@@ -347,6 +381,11 @@ class ShardExecutor:
                 self.overlays.append(overlay)
                 self.plan_caches.append(cache)
                 self.engines.append(engine)
+            if overlays is not None:
+                # Restored overlays may carry update state the base encodes
+                # predate; the live edge count is theirs, not the streams'.
+                self._num_edges = sum(o.num_edges for o in self.overlays)
+                self._final_live_bits = sum(o.live_bits for o in self.overlays)
             if backend == "thread":
                 self._thread_pool = ThreadPoolExecutor(
                     max_workers=max_workers or sharded.num_shards
@@ -356,6 +395,7 @@ class ShardExecutor:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the sharded graph (global id space)."""
         return self.sharded.num_nodes
 
     @property
@@ -365,6 +405,7 @@ class ShardExecutor:
 
     @property
     def num_shards(self) -> int:
+        """Number of shards the executor fans out over."""
         return self.sharded.num_shards
 
     @property

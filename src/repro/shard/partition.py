@@ -172,6 +172,7 @@ class HashPartitioner(Partitioner):
     name = "hash"
 
     def assign(self, graph: Graph, num_shards: int) -> np.ndarray:
+        """Multiplicative-hash assignment of every node id to a shard."""
         nodes = np.arange(graph.num_nodes, dtype=np.int64)
         mixed = (nodes * _HASH_MULTIPLIER) & _HASH_MASK
         return (mixed % num_shards).astype(np.int64)
@@ -191,6 +192,7 @@ class RangePartitioner(Partitioner):
     name = "range"
 
     def assign(self, graph: Graph, num_shards: int) -> np.ndarray:
+        """Contiguous id ranges cut on the cumulative degree distribution."""
         num_nodes = graph.num_nodes
         assignment = np.zeros(num_nodes, dtype=np.int64)
         if num_nodes == 0 or num_shards == 1:
@@ -246,6 +248,7 @@ class GreedyEdgeCutPartitioner(Partitioner):
         return (1 + self.balance_tolerance) * total_load / num_shards
 
     def assign(self, graph: Graph, num_shards: int) -> np.ndarray:
+        """Greedy heaviest-first placement under the load-balance cap."""
         num_nodes = graph.num_nodes
         assignment = np.full(num_nodes, -1, dtype=np.int64)
         if num_shards == 1:

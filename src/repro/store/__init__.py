@@ -1,0 +1,84 @@
+"""Persistent CGR store: binary graph files, zero-copy load, epoch snapshots.
+
+The paper's premise is that the compressed representation *is* the
+operational artifact -- so this package makes it storable and reloadable
+as-is.  Before it, every process rebuilt graphs from edge lists and paid the
+full CGR encode on every restart, and dynamic-overlay state simply died with
+the process.  Three layers fix that:
+
+* :mod:`repro.store.format` -- the framed binary container every store file
+  shares: an 8-byte magic, a version word, and length/CRC-framed blocks, so
+  truncation, corruption and foreign files are all detected before any
+  payload is interpreted;
+* :mod:`repro.store.files` -- the concrete file kinds: **graph files**
+  (metadata + ``bitStart[]`` offset table + the packed 64-bit word payload
+  written verbatim, loaded back by wrapping the words -- no re-encode, which
+  is why cold-start load is orders of magnitude faster than re-encoding,
+  gated >=10x by ``benchmarks/test_store_throughput.py``), **delta files**
+  (one :class:`~repro.dynamic.DeltaOverlay`'s structural state plus its side
+  stream, bit for bit) and **partition files** (a sharded entry's
+  node-to-shard assignment);
+* :mod:`repro.store.snapshot` -- Iceberg-style epoch snapshots: immutable
+  base files shared across epochs, a cheap delta file per epoch, and JSON
+  manifests naming each snapshot's files, with ``manifest.json`` always
+  pointing at the latest epoch.
+
+The byte-level layout is specified in ``docs/FORMAT.md`` precisely enough to
+reimplement a reader from the document alone.  Service-level entry points:
+:meth:`repro.service.TraversalService.save_graph` /
+:meth:`~repro.service.TraversalService.load_graph` (and the registry's
+``snapshot``/``restore`` they delegate to)::
+
+    from repro import BFSQuery, TraversalService, load_dataset
+
+    service = TraversalService()
+    service.register_graph("uk", load_dataset("uk-2002", scale=2000))
+    service.apply_updates("uk", [("insert", 0, 999)])
+    service.save_graph("uk", "snapshots/uk")
+
+    restarted = TraversalService()          # a fresh process
+    restarted.load_graph("snapshots/uk")    # no re-encode
+    restarted.submit([BFSQuery("uk", source=0)])
+"""
+
+from repro.store.files import (
+    graph_fingerprint,
+    read_delta_file,
+    read_graph_file,
+    read_graph_meta,
+    read_partition_file,
+    write_delta_file,
+    write_graph_file,
+    write_partition_file,
+)
+from repro.store.format import (
+    FORMAT_VERSION,
+    StoreError,
+    StoreFormatError,
+    StoreVersionError,
+)
+from repro.store.snapshot import (
+    MANIFEST_VERSION,
+    read_manifest,
+    restore_entry,
+    write_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "graph_fingerprint",
+    "MANIFEST_VERSION",
+    "StoreError",
+    "StoreFormatError",
+    "StoreVersionError",
+    "read_delta_file",
+    "read_graph_file",
+    "read_graph_meta",
+    "read_manifest",
+    "read_partition_file",
+    "restore_entry",
+    "write_delta_file",
+    "write_graph_file",
+    "write_partition_file",
+    "write_snapshot",
+]

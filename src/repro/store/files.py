@@ -1,0 +1,347 @@
+"""Writers and readers for the store's three binary file kinds.
+
+All three files use the framed-block container of
+:mod:`repro.store.format` (magic, version, length/CRC-framed blocks) and are
+specified byte-for-byte in ``docs/FORMAT.md``:
+
+* **graph files** (``*.cgr``) -- a frozen CGR encode: a metadata JSON block
+  (counts, bit length, encoding parameters), the per-node ``bitStart[]``
+  offset table, and the packed 64-bit word payload written *verbatim* from
+  the in-memory :class:`~repro.compression.bitarray.PackedBits`.  Loading
+  wraps the payload words back into a :class:`~repro.compression.cgr.
+  CGRGraph` with :meth:`~repro.compression.bitarray.PackedBits.from_buffer`
+  -- no re-encode, no VLC decode, and no bump of the process-wide
+  :func:`~repro.compression.cgr.encode_call_count`; the cold-start speedup
+  this buys over re-encoding is gated by
+  ``benchmarks/test_store_throughput.py``;
+* **delta files** (``*.delta``) -- one
+  :class:`~repro.dynamic.DeltaOverlay`'s structural state
+  (:meth:`~repro.dynamic.DeltaOverlay.state_dict`) plus its side stream's
+  words, capturing dynamic-update state bit for bit;
+* **partition files** (``partition.bin``) -- a sharded entry's
+  node-to-shard assignment array.
+
+Every reader validates counts and cross-field consistency (offset table
+length, final offset vs payload bit length, payload byte length) on top of
+the container's magic/length/CRC checks, and raises
+:class:`~repro.store.format.StoreFormatError` rather than constructing a
+corrupt graph.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.bitarray import PackedBits
+from repro.compression.cgr import CGRConfig, CGRGraph
+from repro.dynamic.compaction import CompactionPolicy
+from repro.dynamic.overlay import DeltaOverlay
+
+from repro.store.format import (
+    MAGIC_DELTA,
+    MAGIC_GRAPH,
+    MAGIC_PARTITION,
+    BlockReader,
+    StoreFormatError,
+    write_block,
+    write_header,
+    write_json_block,
+)
+
+
+def _word_byte_length(bit_length: int) -> int:
+    """Bytes a payload of ``bit_length`` bits occupies as whole 64-bit words."""
+    return ((bit_length + 63) // 64) * 8
+
+
+def _require(condition: bool, path: Path, message: str) -> None:
+    """Raise :class:`StoreFormatError` with file context unless ``condition``."""
+    if not condition:
+        raise StoreFormatError(f"{path}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Graph files
+# ---------------------------------------------------------------------------
+
+def write_graph_file(path: str | Path, cgr: CGRGraph) -> Path:
+    """Persist a frozen CGR encode (see ``docs/FORMAT.md`` for the layout).
+
+    The packed word payload and the offset table are written verbatim, so a
+    later :func:`read_graph_file` reconstructs a graph whose bit stream,
+    offsets and configuration are identical to ``cgr``'s.
+    """
+    path = Path(path)
+    bits = cgr.bits
+    if not isinstance(bits, PackedBits):
+        raise TypeError(
+            "write_graph_file needs a frozen CGRGraph backed by PackedBits; "
+            f"got a bit container of type {type(bits).__name__}"
+        )
+    offsets_bytes = np.asarray(cgr.offsets, dtype="<i8").tobytes()
+    payload_bytes = bits.to_word_bytes()
+    meta = {
+        "kind": "graph",
+        "num_nodes": cgr.num_nodes,
+        "num_edges": cgr.num_edges,
+        "bit_length": len(bits),
+        "config": cgr.config.to_dict(),
+        # Content fingerprints, duplicated from the block framing CRCs into
+        # the metadata so identity can be checked from the meta block alone
+        # (the snapshot writer's cheap is-this-the-same-encode probe).
+        "offsets_crc32": zlib.crc32(offsets_bytes) & 0xFFFFFFFF,
+        "payload_crc32": zlib.crc32(payload_bytes) & 0xFFFFFFFF,
+    }
+    with path.open("wb") as handle:
+        write_header(handle, MAGIC_GRAPH)
+        write_json_block(handle, meta)
+        write_block(handle, offsets_bytes)
+        write_block(handle, payload_bytes)
+    return path
+
+
+def graph_fingerprint(cgr: CGRGraph) -> dict:
+    """The identity fields :func:`write_graph_file` embeds in the metadata.
+
+    Two encodes match on this fingerprint if and only if their files would
+    be byte-identical (counts, configuration, offset table and payload
+    content), which is what the snapshot writer's immutable-base reuse
+    check compares against :func:`read_graph_meta` output.
+    """
+    return {
+        "num_nodes": cgr.num_nodes,
+        "num_edges": cgr.num_edges,
+        "bit_length": len(cgr.bits),
+        "config": cgr.config.to_dict(),
+        "offsets_crc32": zlib.crc32(
+            np.asarray(cgr.offsets, dtype="<i8").tobytes()
+        ) & 0xFFFFFFFF,
+        "payload_crc32": zlib.crc32(cgr.bits.to_word_bytes()) & 0xFFFFFFFF,
+    }
+
+
+def read_graph_meta(path: str | Path) -> dict:
+    """The metadata block of a graph file (counts, bit length, config dict).
+
+    Reads and verifies only the header and the metadata block -- the offset
+    and payload blocks are not touched -- so it is cheap enough for the
+    snapshot writer to cross-check an existing base file before reusing it.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        data = handle.read(4096)
+        reader = BlockReader(data, str(path))
+        try:
+            reader.read_header(MAGIC_GRAPH)
+            return reader.read_json_block("metadata")
+        except StoreFormatError:
+            if len(data) < 4096:
+                raise
+        # The metadata block straddled the probe window; read the whole file.
+        reader = BlockReader(data + handle.read(), str(path))
+    reader.read_header(MAGIC_GRAPH)
+    return reader.read_json_block("metadata")
+
+
+def read_graph_file(path: str | Path) -> CGRGraph:
+    """Load a graph file back into a :class:`~repro.compression.cgr.CGRGraph`.
+
+    This is the zero-copy cold-start path: the payload block is wrapped by
+    :meth:`~repro.compression.bitarray.PackedBits.from_buffer` (one bulk
+    word conversion, no per-bit or per-code work) and the offset table is
+    viewed through ``numpy.frombuffer``; nothing is re-encoded and
+    :func:`~repro.compression.cgr.encode_call_count` does not move.
+    """
+    path = Path(path)
+    reader = BlockReader(path.read_bytes(), str(path))
+    reader.read_header(MAGIC_GRAPH)
+    meta = reader.read_json_block("metadata")
+    _require(meta.get("kind") == "graph", path,
+             f"metadata kind {meta.get('kind')!r} is not 'graph'")
+    try:
+        num_nodes = int(meta["num_nodes"])
+        num_edges = int(meta["num_edges"])
+        bit_length = int(meta["bit_length"])
+        config = CGRConfig.from_dict(meta["config"])
+        offsets_crc = int(meta["offsets_crc32"])
+        payload_crc = int(meta["payload_crc32"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreFormatError(f"{path}: malformed metadata: {error!r}") from None
+    _require(
+        num_nodes >= 0 and num_edges >= 0 and bit_length >= 0, path,
+        f"metadata counts must be non-negative (num_nodes={num_nodes}, "
+        f"num_edges={num_edges}, bit_length={bit_length})",
+    )
+
+    offsets_block = reader.read_block("offset table")
+    expected = (num_nodes + 1) * 8
+    _require(
+        offsets_block.nbytes == expected, path,
+        f"offset table holds {offsets_block.nbytes} bytes, expected "
+        f"{expected} for {num_nodes + 1} int64 entries",
+    )
+    # Copied out of the file image: a frombuffer view would pin the whole
+    # file's bytes (payload included) for the lifetime of the graph.
+    offsets = np.frombuffer(offsets_block, dtype="<i8").copy()
+    _require(
+        int(offsets[-1]) == bit_length, path,
+        f"final offset {int(offsets[-1])} does not equal the declared "
+        f"payload bit length {bit_length}",
+    )
+    # First offset 0 and non-decreasing entries, with the final-offset check
+    # above, pin every bitStart inside the payload -- an interior offset
+    # pointing past the stream must fail here, not EOFError at query time.
+    _require(
+        int(offsets[0]) == 0 and bool(np.all(np.diff(offsets) >= 0)), path,
+        "offset table must start at 0 and be non-decreasing",
+    )
+
+    payload = reader.read_block("payload")
+    _require(
+        payload.nbytes == _word_byte_length(bit_length), path,
+        f"payload holds {payload.nbytes} bytes, expected "
+        f"{_word_byte_length(bit_length)} for {bit_length} bits",
+    )
+    reader.expect_end()
+    # The metadata duplicates the section CRCs as content fingerprints; a
+    # disagreement means the meta block and the data blocks come from
+    # different writes (e.g. a spliced or hand-edited file).
+    _require(
+        zlib.crc32(offsets_block) & 0xFFFFFFFF == offsets_crc, path,
+        "metadata offsets_crc32 does not match the offset table",
+    )
+    _require(
+        zlib.crc32(payload) & 0xFFFFFFFF == payload_crc, path,
+        "metadata payload_crc32 does not match the payload",
+    )
+    return CGRGraph(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        bits=PackedBits.from_buffer(payload, bit_length),
+        offsets=offsets,
+        config=config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Delta files
+# ---------------------------------------------------------------------------
+
+def write_delta_file(path: str | Path, overlay: DeltaOverlay) -> Path:
+    """Persist one overlay's dynamic state (structure + side stream)."""
+    path = Path(path)
+    state = overlay.state_dict()
+    meta = {"kind": "delta", "state": state}
+    with path.open("wb") as handle:
+        write_header(handle, MAGIC_DELTA)
+        write_json_block(handle, meta)
+        write_block(handle, overlay.side_stream.to_word_bytes())
+    return path
+
+
+def read_delta_file(
+    path: str | Path,
+    base: CGRGraph,
+    policy: CompactionPolicy | None = None,
+) -> DeltaOverlay:
+    """Rebuild a :class:`~repro.dynamic.DeltaOverlay` over ``base``.
+
+    ``base`` must be the very graph the snapshotted overlay wrapped (the
+    matching graph file's load) -- the restored extents and insert runs
+    hold absolute offsets into the spliced base+side stream.
+    """
+    path = Path(path)
+    reader = BlockReader(path.read_bytes(), str(path))
+    reader.read_header(MAGIC_DELTA)
+    meta = reader.read_json_block("metadata")
+    _require(meta.get("kind") == "delta", path,
+             f"metadata kind {meta.get('kind')!r} is not 'delta'")
+    try:
+        state = meta["state"]
+        side_bits = int(state["side_bit_length"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreFormatError(f"{path}: malformed metadata: {error!r}") from None
+    _require(side_bits >= 0, path,
+             f"side_bit_length must be non-negative, got {side_bits}")
+    payload = reader.read_block("side stream")
+    _require(
+        payload.nbytes == _word_byte_length(side_bits), path,
+        f"side stream holds {payload.nbytes} bytes, expected "
+        f"{_word_byte_length(side_bits)} for {side_bits} bits",
+    )
+    reader.expect_end()
+    side = PackedBits.from_buffer(payload, side_bits)
+    try:
+        return DeltaOverlay.from_state(base, state, side, policy=policy)
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreFormatError(
+            f"{path}: malformed overlay state: {error}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Partition files
+# ---------------------------------------------------------------------------
+
+def write_partition_file(
+    path: str | Path, assignment: np.ndarray, num_shards: int
+) -> Path:
+    """Persist a sharded entry's node-to-shard assignment array."""
+    path = Path(path)
+    assignment = np.asarray(assignment, dtype="<i8")
+    meta = {
+        "kind": "partition",
+        "num_shards": int(num_shards),
+        "num_nodes": int(len(assignment)),
+    }
+    with path.open("wb") as handle:
+        write_header(handle, MAGIC_PARTITION)
+        write_json_block(handle, meta)
+        write_block(handle, assignment.tobytes())
+    return path
+
+
+def read_partition_file(path: str | Path) -> tuple[np.ndarray, int]:
+    """Load ``(assignment, num_shards)`` from a partition file."""
+    path = Path(path)
+    reader = BlockReader(path.read_bytes(), str(path))
+    reader.read_header(MAGIC_PARTITION)
+    meta = reader.read_json_block("metadata")
+    _require(meta.get("kind") == "partition", path,
+             f"metadata kind {meta.get('kind')!r} is not 'partition'")
+    try:
+        num_shards = int(meta["num_shards"])
+        num_nodes = int(meta["num_nodes"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreFormatError(f"{path}: malformed metadata: {error!r}") from None
+    _require(num_shards > 0 and num_nodes >= 0, path,
+             f"invalid counts (num_shards={num_shards}, num_nodes={num_nodes})")
+    block = reader.read_block("assignment")
+    _require(
+        block.nbytes == num_nodes * 8, path,
+        f"assignment holds {block.nbytes} bytes, expected {num_nodes * 8}",
+    )
+    reader.expect_end()
+    assignment = np.frombuffer(block, dtype="<i8").copy()
+    _require(
+        len(assignment) == 0
+        or (int(assignment.min()) >= 0 and int(assignment.max()) < num_shards),
+        path,
+        f"assignment values must lie in [0, {num_shards})",
+    )
+    return assignment, num_shards
+
+
+__all__ = [
+    "graph_fingerprint",
+    "read_delta_file",
+    "read_graph_file",
+    "read_graph_meta",
+    "read_partition_file",
+    "write_delta_file",
+    "write_graph_file",
+    "write_partition_file",
+]

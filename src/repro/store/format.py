@@ -1,0 +1,181 @@
+"""Framing primitives of the persistent CGR store's binary files.
+
+Every on-disk artifact of :mod:`repro.store` -- graph files, delta files,
+partition files -- shares one container layout, specified byte-for-byte in
+``docs/FORMAT.md``:
+
+* an 8-byte **magic** identifying the file kind (:data:`MAGIC_GRAPH`,
+  :data:`MAGIC_DELTA`, :data:`MAGIC_PARTITION`);
+* a little-endian ``uint32`` **format version** (:data:`FORMAT_VERSION`);
+* a sequence of **blocks**, each framed as ``uint64`` payload length (LE),
+  the payload bytes, and a ``uint32`` CRC-32 (LE) of the payload.
+
+Block framing gives every reader the same three integrity guarantees for
+free: *truncation* is detected because a declared length cannot overrun the
+file, *corruption* is detected by the per-block checksum, and *foreign
+files* are rejected by the magic before any payload is interpreted.  All
+failures raise :class:`StoreFormatError` (or :class:`StoreVersionError` for
+a well-formed file written by a newer format), never a partially-built
+object.
+
+The helpers here are deliberately dumb -- they move bytes and verify
+checksums.  What the blocks *mean* (metadata JSON, offset tables, packed
+word payloads) is the business of :mod:`repro.store.files`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import BinaryIO
+
+#: Magic of a graph file: a frozen CGR encode (offsets + packed words).
+MAGIC_GRAPH = b"CGRSTOR1"
+#: Magic of a delta file: one overlay's structural state + side stream.
+MAGIC_DELTA = b"CGRDELT1"
+#: Magic of a partition file: a sharded entry's node-to-shard assignment.
+MAGIC_PARTITION = b"CGRPART1"
+
+#: Current (and only) revision of the container layout.
+FORMAT_VERSION = 1
+
+#: ``uint32`` little-endian (version and CRC fields).
+_U32 = struct.Struct("<I")
+#: ``uint64`` little-endian (block length fields).
+_U64 = struct.Struct("<Q")
+
+
+class StoreError(ValueError):
+    """Base class of every persistent-store failure."""
+
+
+class StoreFormatError(StoreError):
+    """The file is not a well-formed store file (bad magic, truncation,
+    checksum mismatch, or self-inconsistent metadata)."""
+
+
+class StoreVersionError(StoreError):
+    """The file is well-formed but written by an unsupported format version."""
+
+
+def write_header(handle: BinaryIO, magic: bytes) -> None:
+    """Write the 12-byte file header: magic + format version."""
+    if len(magic) != 8:
+        raise ValueError(f"magic must be 8 bytes, got {len(magic)}")
+    handle.write(magic)
+    handle.write(_U32.pack(FORMAT_VERSION))
+
+
+def write_block(handle: BinaryIO, payload: bytes) -> None:
+    """Append one framed block: length, payload, CRC-32."""
+    handle.write(_U64.pack(len(payload)))
+    handle.write(payload)
+    handle.write(_U32.pack(zlib.crc32(payload) & 0xFFFFFFFF))
+
+
+def write_json_block(handle: BinaryIO, document: dict) -> None:
+    """Append a block holding a JSON document (UTF-8, sorted keys)."""
+    write_block(
+        handle, json.dumps(document, sort_keys=True).encode("utf-8")
+    )
+
+
+class BlockReader:
+    """Sequential reader over a store file's header and framed blocks.
+
+    Operates on the whole file image (``bytes`` or a ``memoryview``); block
+    payloads are returned as zero-copy ``memoryview`` slices, which is what
+    lets :meth:`repro.compression.bitarray.PackedBits.from_buffer` wrap a
+    graph file's word payload without copying it.
+    """
+
+    def __init__(self, data: bytes, path: str = "<bytes>") -> None:
+        self._view = memoryview(data)
+        self._offset = 0
+        self.path = path
+
+    def _take(self, count: int, what: str) -> memoryview:
+        """The next ``count`` bytes, or :class:`StoreFormatError` on truncation."""
+        end = self._offset + count
+        if end > self._view.nbytes:
+            raise StoreFormatError(
+                f"{self.path}: truncated file -- needed {count} bytes for "
+                f"{what} at offset {self._offset}, only "
+                f"{self._view.nbytes - self._offset} remain"
+            )
+        chunk = self._view[self._offset:end]
+        self._offset = end
+        return chunk
+
+    def read_header(self, magic: bytes) -> int:
+        """Verify the magic, and return the file's format version.
+
+        Raises :class:`StoreFormatError` on a wrong magic and
+        :class:`StoreVersionError` on an unsupported version.
+        """
+        found = bytes(self._take(8, "magic"))
+        if found != magic:
+            raise StoreFormatError(
+                f"{self.path}: bad magic {found!r}; expected {magic!r}"
+            )
+        version = _U32.unpack(self._take(4, "format version"))[0]
+        if version != FORMAT_VERSION:
+            raise StoreVersionError(
+                f"{self.path}: format version {version} is not supported "
+                f"(this reader understands version {FORMAT_VERSION})"
+            )
+        return version
+
+    def read_block(self, what: str) -> memoryview:
+        """The next block's payload, with its length and CRC verified."""
+        length = _U64.unpack(self._take(8, f"{what} block length"))[0]
+        payload = self._take(length, f"{what} block payload")
+        stored_crc = _U32.unpack(self._take(4, f"{what} block checksum"))[0]
+        actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if stored_crc != actual_crc:
+            raise StoreFormatError(
+                f"{self.path}: checksum mismatch in {what} block "
+                f"(stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+            )
+        return payload
+
+    def read_json_block(self, what: str) -> dict:
+        """The next block parsed as a JSON object."""
+        payload = self.read_block(what)
+        try:
+            document = json.loads(bytes(payload).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise StoreFormatError(
+                f"{self.path}: {what} block is not valid JSON: {error}"
+            ) from None
+        if not isinstance(document, dict):
+            raise StoreFormatError(
+                f"{self.path}: {what} block must hold a JSON object, "
+                f"got {type(document).__name__}"
+            )
+        return document
+
+    def expect_end(self) -> None:
+        """Raise :class:`StoreFormatError` on trailing bytes after the last block."""
+        remaining = self._view.nbytes - self._offset
+        if remaining:
+            raise StoreFormatError(
+                f"{self.path}: {remaining} unexpected trailing byte(s) after "
+                "the final block"
+            )
+
+
+__all__ = [
+    "BlockReader",
+    "FORMAT_VERSION",
+    "MAGIC_DELTA",
+    "MAGIC_GRAPH",
+    "MAGIC_PARTITION",
+    "StoreError",
+    "StoreFormatError",
+    "StoreVersionError",
+    "write_block",
+    "write_header",
+    "write_json_block",
+]

@@ -66,6 +66,7 @@ class IntuitiveStrategy(ExpansionStrategy):
     name = "Intuitive"
 
     def expand_chunk(self, ctx: ExpandContext, chunk: Sequence[int]) -> None:
+        """Expand one warp-sized chunk with naive per-lane scheduling."""
         plans = self.load_plans(ctx, chunk)
         streams = [build_lane_ops(ctx, plan) for plan in plans]
         cursors = [0] * len(streams)

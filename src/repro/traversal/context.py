@@ -77,10 +77,12 @@ class NodePlan:
 
     @property
     def interval_coverage(self) -> int:
+        """Neighbours covered by intervals."""
         return sum(interval.length for interval in self.intervals)
 
     @property
     def residual_count(self) -> int:
+        """Neighbours stored as residuals, summed over segments."""
         return sum(segment.count for segment in self.residual_segments)
 
 

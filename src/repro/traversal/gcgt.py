@@ -68,6 +68,7 @@ class GCGTConfig:
 
     @property
     def strategy_name(self) -> str:
+        """Display name of the strategy the enabled knobs produce."""
         return self.build_strategy().name
 
 
@@ -131,14 +132,17 @@ class TraversalSession:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the shared resident graph."""
         return self.engine.graph.num_nodes
 
     @property
     def num_edges(self) -> int:
+        """Number of stored directed edges in the shared resident graph."""
         return self.engine.graph.num_edges
 
     @property
     def compression_rate(self) -> float:
+        """Compression rate of the shared resident graph."""
         return self.engine.graph.compression_rate
 
     # -- traversal -------------------------------------------------------------
@@ -233,14 +237,17 @@ class GCGTEngine:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the resident graph."""
         return self.graph.num_nodes
 
     @property
     def num_edges(self) -> int:
+        """Number of stored directed edges in the resident graph."""
         return self.graph.num_edges
 
     @property
     def compression_rate(self) -> float:
+        """Compression rate of the resident graph (32 / bits-per-edge)."""
         return self.graph.compression_rate
 
     # -- sessions -------------------------------------------------------------------

@@ -27,6 +27,7 @@ class ResidualSegmentationStrategy(WarpCentricStrategy):
     def residual_phase(self, ctx: ExpandContext, plans: Sequence[NodePlan]) -> None:
         # Every non-empty residual segment of every frontier node becomes an
         # independent task; tasks are served in warp-sized waves.
+        """Serve every residual segment as an independent warp-wave task."""
         tasks: list[tuple[int, ResidualSegmentPlan]] = []
         for plan in plans:
             for segment in plan.residual_segments:

@@ -71,6 +71,7 @@ class LaneResidualState:
 
     @classmethod
     def from_plan(cls, ctx: ExpandContext, plan: NodePlan) -> "LaneResidualState":
+        """Initialise a lane's residual cursor state from a node plan."""
         state = cls(
             source=plan.node,
             cursor=CGRCursor.at_node(ctx.graph, plan.node),

@@ -29,6 +29,7 @@ class TwoPhaseStrategy(ExpansionStrategy):
     name = "TwoPhaseTraversal"
 
     def expand_chunk(self, ctx: ExpandContext, chunk: Sequence[int]) -> None:
+        """Expand one chunk: interval phase, then residual phase."""
         plans = self.load_plans(ctx, chunk)
         self.interval_phase(ctx, plans)
         self.residual_phase(ctx, plans)

@@ -168,3 +168,40 @@ class TestEdgeListIO:
         path = tmp_path / "graph.txt"
         path.write_text("0 1\n")
         assert read_edge_list(path, num_nodes=10).num_nodes == 10
+
+    def test_negative_source_id_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(ValueError, match="negative node id"):
+            read_edge_list(path)
+
+    def test_negative_target_id_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n3 -7\n")
+        with pytest.raises(ValueError, match="negative node id"):
+            read_edge_list(path)
+
+    def test_header_smaller_than_max_id_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# nodes=3 edges=1\n0 5\n")
+        with pytest.raises(ValueError, match="nodes=3.*node id 5"):
+            read_edge_list(path)
+
+    def test_header_equal_to_max_id_rejected(self, tmp_path):
+        # nodes=5 admits ids 0..4, so an edge naming node 5 is inconsistent.
+        path = tmp_path / "graph.txt"
+        path.write_text("# nodes=5\n0 5\n")
+        with pytest.raises(ValueError, match="at least 6 nodes"):
+            read_edge_list(path)
+
+    def test_exact_header_still_accepted(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# nodes=6\n0 5\n")
+        assert read_edge_list(path).num_nodes == 6
+
+    def test_explicit_num_nodes_overrides_stale_header(self, tmp_path):
+        # The header check applies only when the header is actually used: an
+        # explicit num_nodes keeps overriding it, as documented.
+        path = tmp_path / "graph.txt"
+        path.write_text("# nodes=3\n0 5\n")
+        assert read_edge_list(path, num_nodes=10).num_nodes == 10
