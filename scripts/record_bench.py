@@ -84,6 +84,39 @@ def record_shard() -> dict:
     }
 
 
+def record_msbfs() -> dict:
+    """The MS-BFS batch benchmark (see ``repro.bench.msbfs_bench``)."""
+    from repro.bench.msbfs_bench import (
+        MSBFS_BENCH_LANES,
+        MSBFS_BENCH_SCALE,
+        run_msbfs_benchmark,
+    )
+
+    results = run_msbfs_benchmark()
+    return {
+        "benchmark": "msbfs_throughput",
+        "unit": "simulated elapsed proxy; wall-clock seconds alongside",
+        "baseline": f"{MSBFS_BENCH_LANES} sequential BFS runs on one warm "
+                    "GCGTEngine",
+        "candidate": "one lane-packed msbfs sweep (repro.traversal.msbfs)",
+        "scale_nodes": MSBFS_BENCH_SCALE,
+        "lanes": MSBFS_BENCH_LANES,
+        "note": "speedup is the modelled elapsed-proxy ratio; wall_speedup "
+                "is real seconds -- both gate at >= 10x because lane "
+                "packing eliminates work rather than modelling concurrency",
+        "results": [r.as_row() for r in results],
+        "min_speedup": round(min(r.speedup for r in results), 2),
+        "min_wall_speedup": round(
+            min(r.wall_speedup for r in results), 2
+        ),
+        "aggregate_speedup": round(
+            sum(r.sequential_elapsed for r in results)
+            / sum(r.packed_elapsed for r in results),
+            2,
+        ),
+    }
+
+
 def record_store() -> dict:
     """The store cold-start benchmark (see ``repro.bench.store_bench``)."""
     from repro.bench.store_bench import STORE_BENCH_SCALE, run_store_benchmark
@@ -108,6 +141,7 @@ def record_store() -> dict:
 #: name -> recorder; each returns the JSON document for BENCH_<name>.json.
 BENCHMARKS = {
     "decode": record_decode,
+    "msbfs": record_msbfs,
     "shard": record_shard,
     "store": record_store,
 }
@@ -175,6 +209,14 @@ def main() -> int:
                 detail = (
                     f"{row['packed_edges_per_sec']:,.0f} e/s packed vs "
                     f"{row['naive_edges_per_sec']:,.0f} e/s seed"
+                )
+            elif "sweeps" in row:
+                detail = (
+                    f"{row['sweeps']} packed sweeps "
+                    f"({row['packed_seconds']:.3f}s) vs "
+                    f"{row['sequential_iterations']} sequential iterations "
+                    f"({row['sequential_seconds']:.3f}s), "
+                    f"wall {row['wall_speedup']}x"
                 )
             elif "load_seconds" in row:
                 detail = (

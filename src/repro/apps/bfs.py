@@ -39,7 +39,16 @@ class BFSResult:
         return int(reached.max()) if len(reached) else 0
 
     def level_of(self, node: int) -> int:
-        """The discovery level of ``node`` (``UNREACHED`` when unvisited)."""
+        """The discovery level of ``node`` (``UNREACHED`` when unvisited).
+
+        Raises :class:`IndexError` for out-of-range ids, including negative
+        ones -- a negative id is a caller bug, not a request for Python's
+        from-the-end indexing.
+        """
+        if not 0 <= node < len(self.levels):
+            raise IndexError(
+                f"node {node} out of range [0, {len(self.levels)})"
+            )
         return int(self.levels[node])
 
 

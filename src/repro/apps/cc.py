@@ -34,7 +34,16 @@ class CCResult:
         return int(len(np.unique(self.labels)))
 
     def same_component(self, a: int, b: int) -> bool:
-        """Whether ``a`` and ``b`` carry the same component label."""
+        """Whether ``a`` and ``b`` carry the same component label.
+
+        Raises :class:`IndexError` for out-of-range ids, including negative
+        ones (no silent from-the-end indexing).
+        """
+        for node in (a, b):
+            if not 0 <= node < len(self.labels):
+                raise IndexError(
+                    f"node {node} out of range [0, {len(self.labels)})"
+                )
         return bool(self.labels[a] == self.labels[b])
 
 

@@ -1,0 +1,186 @@
+"""MS-BFS throughput measurement: one lane-packed sweep vs 64 sequential BFS.
+
+The measurement core shared by the gate benchmark
+(``benchmarks/test_msbfs_throughput.py``) and the recording script
+(``scripts/record_bench.py``): answer a 64-source point-query batch over the
+large synthetic families twice --
+
+* **sequential** -- one resident :class:`~repro.traversal.gcgt.GCGTEngine`
+  with a warm decoded-plan cache, running :func:`~repro.apps.bfs.bfs` once
+  per source, the way :meth:`~repro.service.TraversalService.submit` served
+  same-graph batches before lane packing;
+* **packed** -- one :func:`~repro.traversal.msbfs.msbfs` sweep carrying all
+  64 sources as ``uint64`` lane masks, so each adjacency list the union
+  frontier touches is decoded once per sweep for every search at once,
+
+asserting per-lane levels and iteration counts bit-identical, then reporting
+both the **modelled speedup** (simulated elapsed proxy of the sequential
+runs over the packed sweep's -- deterministic across hosts, the same device
+cost model every gate in this repository uses) and the **wall-clock
+speedup** (real seconds, the host-side decode-and-filter work the packing
+actually saves).  Unlike the shard gate, both ratios are gated here: the
+sweep's win is work elimination, not modelled concurrency, so it must show
+up on the wall clock too.
+
+Sources are spread evenly over the node-id space -- the adversarial layout
+for lane packing, since searches started far apart converge late and
+re-enter frontier nodes on different sweeps.  Clustered point-query batches
+only do better.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.bfs import bfs
+from repro.graph.datasets import load_dataset
+from repro.service.cache import DecodedAdjacencyCache
+from repro.traversal.gcgt import GCGTEngine
+from repro.traversal.msbfs import LANE_WIDTH, msbfs
+
+#: The families the gate sweeps: the densest web crawl and the social
+#: network -- locality-heavy and skew-heavy adjacency shapes respectively.
+MSBFS_BENCH_DATASETS: tuple[str, ...] = ("uk-2007", "ljournal")
+
+#: Node count the gate runs at -- large enough that per-sweep frontier
+#: bookkeeping amortises the way it would at paper scale.
+MSBFS_BENCH_SCALE = 3000
+
+#: Batch width: one full uint64 word of concurrent searches.
+MSBFS_BENCH_LANES = LANE_WIDTH
+
+
+@dataclass(frozen=True)
+class MSBFSBenchResult:
+    """One dataset's measured packed-vs-sequential batch execution."""
+
+    dataset: str
+    nodes: int
+    edges: int
+    lanes: int
+    #: Simulated elapsed proxies (device cost units / warp parallelism).
+    sequential_elapsed: float
+    packed_elapsed: float
+    #: Wall-clock seconds of the same two measured passes.
+    sequential_seconds: float
+    packed_seconds: float
+    #: Shared frontier sweeps the packed batch ran vs the summed frontier
+    #: iterations of the 64 sequential runs it replaced.
+    sweeps: int
+    sequential_iterations: int
+
+    @property
+    def speedup(self) -> float:
+        """Modelled batch speedup: sequential elapsed proxy over packed."""
+        return self.sequential_elapsed / self.packed_elapsed
+
+    @property
+    def wall_speedup(self) -> float:
+        """Observed wall-clock ratio of the same two passes."""
+        return self.sequential_seconds / self.packed_seconds
+
+    def as_row(self) -> dict:
+        """A JSON-ready row (dataclass fields plus the derived ratios)."""
+        row = asdict(self)
+        row["speedup"] = round(self.speedup, 2)
+        row["wall_speedup"] = round(self.wall_speedup, 2)
+        for key in (
+            "sequential_elapsed", "packed_elapsed",
+            "sequential_seconds", "packed_seconds",
+        ):
+            row[key] = round(row[key], 6)
+        return row
+
+
+def batch_sources(num_nodes: int, lanes: int = MSBFS_BENCH_LANES) -> list[int]:
+    """The gate's source batch: ``lanes`` sources spread over the id space."""
+    return [(lane * num_nodes) // lanes for lane in range(lanes)]
+
+
+def measure_dataset(
+    name: str,
+    scale: int = MSBFS_BENCH_SCALE,
+    lanes: int = MSBFS_BENCH_LANES,
+    sources: Sequence[int] | None = None,
+) -> MSBFSBenchResult:
+    """Measure packed-vs-sequential batch BFS on one dataset.
+
+    Raises :class:`AssertionError` if any lane's levels or iteration count
+    differ from its sequential run -- speedup is only meaningful on
+    identical answers.  A warm-up pass of both paths runs first (also
+    providing the differential check), so the measured passes see the
+    serving steady state: plan cache hot, no first-touch decode noise.
+    """
+    graph = load_dataset(name, scale)
+    engine = GCGTEngine.from_graph(
+        graph, plan_cache=DecodedAdjacencyCache(graph.num_nodes + 1)
+    )
+    if sources is None:
+        sources = batch_sources(graph.num_nodes, lanes)
+    sources = list(sources)
+
+    # Warm-up doubles as the differential check.
+    warm_session = engine.new_session()
+    sequential_reference = [bfs(warm_session, source) for source in sources]
+    packed = msbfs(engine.new_session(), sources)
+    for lane, reference in enumerate(sequential_reference):
+        extracted = packed.result_for(lane)
+        assert (extracted.levels == reference.levels).all(), (
+            f"packed lane {lane} diverged from sequential BFS on {name!r} "
+            f"source {sources[lane]}"
+        )
+        assert extracted.iterations == reference.iterations
+
+    session = engine.new_session()
+    began = time.perf_counter()
+    for source in sources:
+        bfs(session, source)
+    sequential_seconds = time.perf_counter() - began
+    sequential_elapsed = engine.device.elapsed_proxy(session.metrics)
+
+    session = engine.new_session()
+    began = time.perf_counter()
+    result = msbfs(session, sources)
+    packed_seconds = time.perf_counter() - began
+    packed_elapsed = engine.device.elapsed_proxy(session.metrics)
+
+    return MSBFSBenchResult(
+        dataset=name,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        lanes=len(sources),
+        sequential_elapsed=sequential_elapsed,
+        packed_elapsed=packed_elapsed,
+        sequential_seconds=sequential_seconds,
+        packed_seconds=packed_seconds,
+        sweeps=result.sweeps,
+        sequential_iterations=int(
+            np.sum([r.iterations for r in sequential_reference])
+        ),
+    )
+
+
+def run_msbfs_benchmark(
+    datasets: Sequence[str] = MSBFS_BENCH_DATASETS,
+    scale: int = MSBFS_BENCH_SCALE,
+    lanes: int = MSBFS_BENCH_LANES,
+) -> list[MSBFSBenchResult]:
+    """Measure every dataset; returns one result per dataset, in order."""
+    return [
+        measure_dataset(name, scale=scale, lanes=lanes) for name in datasets
+    ]
+
+
+__all__ = [
+    "MSBFS_BENCH_DATASETS",
+    "MSBFS_BENCH_LANES",
+    "MSBFS_BENCH_SCALE",
+    "MSBFSBenchResult",
+    "batch_sources",
+    "measure_dataset",
+    "run_msbfs_benchmark",
+]

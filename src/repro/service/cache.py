@@ -49,6 +49,9 @@ class CacheSnapshot:
     invalidations: int = 0
     #: Cumulative wall-clock nanoseconds spent decoding plans on misses.
     miss_decode_ns: int = 0
+    #: Lookups whose ``build`` raised: counted here, not as misses, so
+    #: ``hits + misses`` always matches the lookups that returned a plan.
+    build_failures: int = 0
 
 
 class DecodedAdjacencyCache:
@@ -80,7 +83,13 @@ class DecodedAdjacencyCache:
         #: the real host-side decode cost the packed bit-stream engine
         #: attacks, surfaced per query as
         #: :attr:`~repro.service.queries.QueryMetrics.cache_miss_decode_ns`.
+        #: Failed builds' time is charged here too: it was really spent.
         self.miss_decode_ns = 0
+        #: Lookups whose ``build`` raised.  Counted separately from misses
+        #: so ``hits + misses`` always equals the lookups that produced a
+        #: plan (earlier versions counted the miss up front, skewing hit
+        #: rates and per-query miss attribution when a build failed).
+        self.build_failures = 0
 
     # -- PlanCache protocol ---------------------------------------------------
 
@@ -93,6 +102,12 @@ class DecodedAdjacencyCache:
         since it was decoded -- so it is dropped (counted as an
         invalidation), rebuilt via ``build`` and re-inserted under the new
         epoch.
+
+        A ``build`` that raises counts as a *build failure*, not a miss (no
+        plan was produced or inserted, so counting a miss would skew
+        ``hits + misses`` against actual lookup outcomes); the time spent in
+        the failing ``build`` is still charged to ``miss_decode_ns``, and
+        the exception propagates.
         """
         entry = self._plans.get(node)
         if entry is not None:
@@ -103,10 +118,15 @@ class DecodedAdjacencyCache:
                 return plan
             del self._plans[node]
             self.invalidations += 1
-        self.misses += 1
         began = time.perf_counter_ns()
-        plan = build()
+        try:
+            plan = build()
+        except BaseException:
+            self.miss_decode_ns += time.perf_counter_ns() - began
+            self.build_failures += 1
+            raise
         self.miss_decode_ns += time.perf_counter_ns() - began
+        self.misses += 1
         self._plans[node] = (epoch, plan)
         if len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
@@ -157,6 +177,7 @@ class DecodedAdjacencyCache:
             self.evictions,
             self.invalidations,
             self.miss_decode_ns,
+            self.build_failures,
         )
 
     def clear(self) -> None:

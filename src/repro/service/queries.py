@@ -100,6 +100,12 @@ class QueryMetrics:
             shard workers and the coordinator while serving this query --
             the scatter-gather traffic of the sharded execution tier (0 for
             unsharded registrations).
+        batch_lanes: how many queries shared the lane-packed MS-BFS sweep
+            that answered this one (1 for queries served individually).
+            Shared sweep work -- cost, cache deltas, exchange volume -- is
+            attributed by lane: floats divided evenly, integer counters
+            split so they sum back to the sweep's totals.
+        batch_lane: this query's lane within its sweep (0 when unbatched).
     """
 
     cost: float
@@ -113,6 +119,8 @@ class QueryMetrics:
     cache_miss_decode_ns: int = 0
     shard_fanout: int = 0
     exchange_volume: int = 0
+    batch_lanes: int = 1
+    batch_lane: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

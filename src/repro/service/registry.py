@@ -173,6 +173,7 @@ class RegisteredGraph:
             evictions=sum(c.evictions for c in caches),
             invalidations=sum(c.invalidations for c in caches),
             miss_decode_ns=sum(c.miss_decode_ns for c in caches),
+            build_failures=sum(c.build_failures for c in caches),
         )
 
 

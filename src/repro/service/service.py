@@ -27,6 +27,7 @@ from repro.dynamic.updates import UpdateStats
 from repro.gpu.device import GPUDevice
 from repro.graph.graph import Graph
 from repro.traversal.gcgt import GCGTConfig
+from repro.traversal.msbfs import LANE_WIDTH, msbfs
 
 from repro.service.cache import hit_rate
 from repro.service.queries import (
@@ -39,6 +40,17 @@ from repro.service.queries import (
     QueryResult,
 )
 from repro.service.registry import GraphRegistry, RegisteredGraph
+
+
+def _split_count(total: int, lanes: int) -> list[int]:
+    """Split an integer counter across lanes so the shares sum back exactly.
+
+    Each lane gets ``total // lanes``; the remainder goes to the first
+    lanes.  Used to attribute a shared sweep's additive counters (cache
+    deltas, exchange volume) per query without inventing or losing counts.
+    """
+    base, remainder = divmod(total, lanes)
+    return [base + (1 if lane < remainder else 0) for lane in range(lanes)]
 
 
 @dataclass(frozen=True)
@@ -203,15 +215,185 @@ class TraversalService:
     def submit(self, queries: Sequence[Query]) -> list[QueryResult]:
         """Answer a batch of mixed queries, one result per query, in order.
 
-        Every query must name a registered graph (:class:`KeyError`
-        otherwise); CC queries run on the graph's lazily-encoded undirected
-        sibling.  Queries are independent: each runs on its own traversal
-        session over the shared resident graph.
-        """
-        return [self._serve(query) for query in queries]
+        Every query is **admitted** first -- its graph resolved
+        (:class:`KeyError` for unknown names) and its source range-checked
+        (:class:`IndexError`) -- before anything is served, so a bad query
+        anywhere in the batch fails the whole batch without moving any
+        cache or metrics counters.
 
-    def _serve(self, query: Query) -> QueryResult:
+        :class:`~repro.service.queries.BFSQuery` entries that resolve to
+        the **same registered entry** (same graph, same configuration) are
+        grouped, in submission order, through one lane-packed MS-BFS sweep
+        per :data:`~repro.traversal.msbfs.LANE_WIDTH` queries (see
+        :mod:`repro.traversal.msbfs`): each adjacency list the union
+        frontier touches is decoded once for up to 64 searches, on both the
+        single-engine and scatter-gather sharded paths, with the whole
+        group pinned to one overlay epoch.  Results are bit-identical to
+        serving each query alone; per-query metrics attribute the shared
+        sweep by lane (see
+        :attr:`~repro.service.queries.QueryMetrics.batch_lanes`).  All
+        other queries run on their own traversal session over the shared
+        resident graph, exactly as before.
+        """
+        entries = [self._admit(query) for query in queries]
+
+        # Same-entry BFS queries share lane-packed sweeps; everything else
+        # serves individually.  Results land at their submission index.
+        groups: dict[int, list[int]] = {}
+        for index, (query, entry) in enumerate(zip(queries, entries)):
+            if isinstance(query, BFSQuery):
+                groups.setdefault(id(entry), []).append(index)
+        grouped_indices = {
+            index: indices
+            for indices in groups.values()
+            if len(indices) > 1
+            for index in indices
+        }
+
+        results: list[QueryResult | None] = [None] * len(queries)
+        for index, (query, entry) in enumerate(zip(queries, entries)):
+            if results[index] is not None:
+                continue
+            indices = grouped_indices.get(index)
+            if indices is None:
+                results[index] = self._serve(query, entry)
+            else:
+                group = self._serve_bfs_group(
+                    [queries[position] for position in indices], entry
+                )
+                for position, result in zip(indices, group):
+                    results[position] = result
+        return results  # type: ignore[return-value]
+
+    def _admit(self, query: Query) -> RegisteredGraph:
+        """Validate one query and resolve its resident entry.
+
+        Admission runs before any query in the batch is served: unknown
+        graphs raise :class:`KeyError`, out-of-range sources raise
+        :class:`IndexError` and unsupported query types raise
+        :class:`TypeError` -- uniformly across query kinds, before any
+        cache or metrics counters move.
+        """
+        if not isinstance(query, (BFSQuery, CCQuery, BCQuery, PageRankQuery)):
+            raise TypeError(f"unsupported query type {type(query).__name__}")
         entry = self.registry.resolve(query.graph)
+        source = getattr(query, "source", None)
+        if source is not None and not 0 <= source < entry.num_nodes:
+            raise IndexError(
+                f"source {source} out of range [0, {entry.num_nodes})"
+            )
+        return entry
+
+    def _serve_bfs_group(
+        self, queries: list[BFSQuery], entry: RegisteredGraph
+    ) -> list[QueryResult]:
+        """Serve same-entry BFS queries through lane-packed MS-BFS sweeps.
+
+        Queries are packed :data:`~repro.traversal.msbfs.LANE_WIDTH` at a
+        time, in submission order; wider groups spill into consecutive
+        sweeps.  Each sweep runs either on a fresh traversal session of the
+        entry's engine (so its simulated cost is the sweep's alone) or,
+        for sharded entries, through the executor's superstep-native
+        :meth:`~repro.shard.executor.ShardExecutor.msbfs`.
+        """
+        results: list[QueryResult] = []
+        for start in range(0, len(queries), LANE_WIDTH):
+            results.extend(
+                self._serve_bfs_sweep(queries[start:start + LANE_WIDTH], entry)
+            )
+        return results
+
+    def _serve_bfs_sweep(
+        self, queries: list[BFSQuery], entry: RegisteredGraph
+    ) -> list[QueryResult]:
+        """One lane-packed sweep: run it, attribute shared work by lane.
+
+        The whole sweep reads one overlay epoch (``entry.epoch``, pinned
+        before the traversal) and one counter window.  Float costs divide
+        evenly across lanes; additive integer counters split via
+        :func:`_split_count` so per-query metrics sum back to the sweep's
+        totals; ``iterations`` is each lane's own sequential-equivalent
+        count; ``shard_fanout`` (non-additive) reports the sweep's fan-out
+        for every lane.
+        """
+        lanes = len(queries)
+        sources = [query.source for query in queries]
+        encode_before = self.registry.encode_calls
+        cache_before = entry.cache_counters()
+        epoch = entry.epoch
+        executor = entry.executor
+        if executor is not None:
+            shard_before = executor.counters()
+            sweep = executor.msbfs(sources)
+            shard_after = executor.counters()
+            cost = shard_after.cost - shard_before.cost
+            elapsed = shard_after.elapsed_proxy - shard_before.elapsed_proxy
+            shard_fanout = sum(
+                1
+                for before, after in zip(
+                    shard_before.shard_touches, shard_after.shard_touches
+                )
+                if after > before
+            )
+            exchange = (
+                shard_after.exchange_volume - shard_before.exchange_volume
+            )
+        else:
+            assert entry.engine is not None
+            session = entry.engine.new_session()
+            sweep = msbfs(session, sources)
+            cost = session.cost()
+            elapsed = self.device.elapsed_proxy(session.metrics)
+            shard_fanout = 0
+            exchange = 0
+        cache_after = entry.cache_counters()
+
+        hits = _split_count(cache_after.hits - cache_before.hits, lanes)
+        misses = _split_count(cache_after.misses - cache_before.misses, lanes)
+        invalidations = _split_count(
+            cache_after.invalidations - cache_before.invalidations, lanes
+        )
+        miss_ns = _split_count(
+            cache_after.miss_decode_ns - cache_before.miss_decode_ns, lanes
+        )
+        encodes = _split_count(
+            self.registry.encode_calls - encode_before, lanes
+        )
+        exchange_split = _split_count(exchange, lanes)
+        self.queries_served += lanes
+
+        results: list[QueryResult] = []
+        for lane, query in enumerate(queries):
+            metrics = QueryMetrics(
+                cost=cost / lanes,
+                elapsed_proxy=elapsed / lanes,
+                iterations=sweep.lane_iterations[lane],
+                cache_hits=hits[lane],
+                cache_misses=misses[lane],
+                encode_calls=encodes[lane],
+                cache_invalidations=invalidations[lane],
+                graph_epoch=epoch,
+                cache_miss_decode_ns=miss_ns[lane],
+                shard_fanout=shard_fanout,
+                exchange_volume=exchange_split[lane],
+                batch_lanes=lanes,
+                batch_lane=lane,
+            )
+            results.append(
+                QueryResult(
+                    query=query,
+                    kind="bfs",
+                    value=sweep.result_for(lane),
+                    metrics=metrics,
+                )
+            )
+        return results
+
+    def _serve(
+        self, query: Query, entry: RegisteredGraph | None = None
+    ) -> QueryResult:
+        if entry is None:
+            entry = self.registry.resolve(query.graph)
         encode_before = self.registry.encode_calls
         if isinstance(query, CCQuery):
             entry = self.registry.undirected_variant(entry)

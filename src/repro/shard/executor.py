@@ -64,6 +64,12 @@ from repro.gpu.metrics import KernelMetrics
 from repro.service.cache import DecodedAdjacencyCache
 from repro.shard.sharded import ShardedCGRGraph
 from repro.traversal.gcgt import GCGTConfig, GCGTEngine
+from repro.traversal.msbfs import (
+    LANE_WIDTH,
+    MSBFSResult,
+    lane_iterations_from_levels,
+    validate_sources,
+)
 
 #: Supported execution backends.
 BACKENDS = ("inline", "thread", "process")
@@ -161,6 +167,79 @@ def _bfs_step(
     return targets, len(admitted), session.metrics
 
 
+def _msbfs_step(
+    engine: GCGTEngine,
+    seen: np.ndarray,
+    lane_levels: np.ndarray,
+    nodes: np.ndarray,
+    masks: np.ndarray,
+    depth: int,
+) -> tuple[np.ndarray, np.ndarray, int, KernelMetrics | None]:
+    """One shard's MS-BFS superstep: admit lanes shard-side, expand, emit masks.
+
+    The lane-packed analogue of :func:`_bfs_step`: ``nodes``/``masks`` are
+    globally merged candidate ids owned by this shard with the uint64 lane
+    masks that discovered them last superstep.  Lanes this shard has not yet
+    seen for a node are admitted at ``depth`` and recorded per lane; admitted
+    nodes are expanded **once** through the shard engine -- one adjacency
+    decode serves every packed search -- and each decoded neighbour
+    accumulates the union of its discoverers' admitted masks.  Locally-owned
+    lanes already seen are pruned before the exchange, so a message carries
+    only lanes its target might still need.
+
+    Levels are distance-determined per lane, so the merged result is
+    bit-identical to 64 sequential ``bfs()`` runs, whatever the sharding.
+    """
+    gained = masks & ~seen[nodes]
+    live = gained != 0
+    admitted = nodes[live]
+    admitted_masks = gained[live]
+    if len(admitted) == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint64),
+            0,
+            None,
+        )
+    seen[admitted] |= admitted_masks
+    for lane in range(lane_levels.shape[0]):
+        hit = admitted[(admitted_masks & np.uint64(1 << lane)) != 0]
+        if len(hit):
+            lane_levels[lane, hit] = depth
+
+    mask_of = {
+        int(node): int(mask)
+        for node, mask in zip(admitted, admitted_masks)
+    }
+    out: dict[int, int] = {}
+
+    def collect(source: int, neighbor: int) -> bool:
+        out[neighbor] = out.get(neighbor, 0) | mask_of[source]
+        return False
+
+    session = engine.new_session()
+    session.expand([int(node) for node in admitted], collect)
+    if not out:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint64),
+            len(admitted),
+            session.metrics,
+        )
+    targets = np.fromiter(out.keys(), dtype=np.int64, count=len(out))
+    target_masks = np.fromiter(
+        out.values(), dtype=np.uint64, count=len(out)
+    )
+    order = np.argsort(targets)
+    targets = targets[order]
+    target_masks = target_masks[order]
+    # Lanes this shard already levelled can be pruned here; remote targets
+    # carry local zeros in ``seen``, so their masks pass through untouched.
+    target_masks = target_masks & ~seen[targets]
+    keep = target_masks != 0
+    return targets[keep], target_masks[keep], len(admitted), session.metrics
+
+
 # ---------------------------------------------------------------------------
 # Process-backend worker functions (module level so they pickle).
 # ---------------------------------------------------------------------------
@@ -236,6 +315,34 @@ def _process_worker_bfs_step(
 def _process_worker_bfs_levels() -> np.ndarray:
     """The worker's level array (authoritative for its owned nodes only)."""
     return _WORKER_STATE["bfs_levels"]
+
+
+def _process_worker_msbfs_reset(lanes: int) -> None:
+    """Start a fresh MS-BFS: clear the worker's lane masks and level matrix."""
+    overlay = _WORKER_STATE["overlay"]
+    _WORKER_STATE["msbfs_seen"] = np.zeros(overlay.num_nodes, dtype=np.uint64)
+    _WORKER_STATE["msbfs_levels"] = np.full(
+        (lanes, overlay.num_nodes), UNREACHED, dtype=np.int64
+    )
+
+
+def _process_worker_msbfs_step(
+    nodes: np.ndarray, masks: np.ndarray, depth: int
+) -> tuple[np.ndarray, np.ndarray, int, KernelMetrics | None]:
+    """One MS-BFS superstep on the worker's shard (see :func:`_msbfs_step`)."""
+    return _msbfs_step(
+        _WORKER_STATE["engine"],
+        _WORKER_STATE["msbfs_seen"],
+        _WORKER_STATE["msbfs_levels"],
+        nodes,
+        masks,
+        depth,
+    )
+
+
+def _process_worker_msbfs_levels() -> np.ndarray:
+    """The worker's lane-level matrix (authoritative for owned nodes only)."""
+    return _WORKER_STATE["msbfs_levels"]
 
 
 class ShardExecutor:
@@ -343,6 +450,9 @@ class ShardExecutor:
         self.plan_caches: list[DecodedAdjacencyCache] = []
         #: Per-shard level arrays of the in-progress/last BFS (inline/thread).
         self._bfs_levels: list[np.ndarray] = []
+        #: Per-shard MS-BFS lane masks / lane-level matrices (inline/thread).
+        self._msbfs_seen: list[np.ndarray] = []
+        self._msbfs_levels: list[np.ndarray] = []
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pools: list[ProcessPoolExecutor] = []
 
@@ -639,6 +749,183 @@ class ShardExecutor:
         for shard, owned in enumerate(self.partition.shard_nodes):
             levels[owned] = shard_levels[shard][owned]
         return levels
+
+    # -- superstep-native multi-source BFS -------------------------------------
+
+    def msbfs(self, sources) -> MSBFSResult:
+        """Sharded lane-packed MS-BFS: one candidate exchange serves 64 lanes.
+
+        The superstep-native analogue of
+        :func:`repro.traversal.msbfs.msbfs`: each shard keeps a ``uint64``
+        lane mask per owned node, admits newly-gained lanes locally, and
+        expands every admitted node **once per superstep** for all packed
+        searches.  The frontier exchange carries ``(node id, lane mask)``
+        pairs -- still bounded by discovered nodes per level, not by lanes
+        times nodes, because messages for the same target are OR-merged at
+        the coordinator before routing.  Per-lane levels and iteration
+        counts are bit-identical to sequential :meth:`bfs` per source.
+
+        Raises :class:`ValueError` for an empty or over-wide batch and
+        :class:`IndexError` for out-of-range sources.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        batch = validate_sources(sources, self.num_nodes)
+        if len(batch) > LANE_WIDTH:
+            raise ValueError(
+                f"{len(batch)} sources exceed the {LANE_WIDTH}-lane word "
+                "width; split the batch into sweeps"
+            )
+        lanes = len(batch)
+        assignment = self.partition.assignment
+        self._msbfs_reset(lanes)
+
+        # Duplicate sources collapse to one candidate with an OR'd mask.
+        source_masks: dict[int, int] = {}
+        for lane, source in enumerate(batch):
+            source_masks[source] = source_masks.get(source, 0) | (1 << lane)
+        nodes = np.fromiter(
+            sorted(source_masks), dtype=np.int64, count=len(source_masks)
+        )
+        masks = np.asarray(
+            [source_masks[int(node)] for node in nodes], dtype=np.uint64
+        )
+        owners = assignment[nodes]
+        candidates: dict[int, tuple[np.ndarray, np.ndarray]] = {
+            int(shard): (nodes[owners == shard], masks[owners == shard])
+            for shard in np.unique(owners)
+        }
+
+        depth = 0
+        sweeps = 0
+        while candidates:
+            self.supersteps += 1
+            for shard, (shard_nodes, _) in candidates.items():
+                self.shard_touches[shard] += 1
+                self.exchange_volume += len(shard_nodes)
+            results = self._msbfs_dispatch(candidates, depth)
+            total_admitted = 0
+            step_costs = [0.0]
+            gathered_nodes: list[np.ndarray] = []
+            gathered_masks: list[np.ndarray] = []
+            for shard, (targets, target_masks, admitted, metrics) in (
+                results.items()
+            ):
+                total_admitted += admitted
+                if metrics is not None:
+                    self.kernel_metrics.merge(metrics)
+                    step_costs.append(self.device.cost(metrics))
+                if len(targets):
+                    gathered_nodes.append(targets)
+                    gathered_masks.append(target_masks)
+                    self.exchange_volume += len(targets)
+                    self.boundary_messages += int(
+                        (assignment[targets] != shard).sum()
+                    )
+            self.critical_cost += max(step_costs)
+            if total_admitted:
+                sweeps += 1
+            candidates = {}
+            if gathered_nodes:
+                all_nodes = np.concatenate(gathered_nodes)
+                all_masks = np.concatenate(gathered_masks)
+                merged_nodes, inverse = np.unique(
+                    all_nodes, return_inverse=True
+                )
+                merged_masks = np.zeros(len(merged_nodes), dtype=np.uint64)
+                np.bitwise_or.at(merged_masks, inverse, all_masks)
+                owners = assignment[merged_nodes]
+                for shard in np.unique(owners):
+                    selected = owners == shard
+                    candidates[int(shard)] = (
+                        merged_nodes[selected], merged_masks[selected]
+                    )
+            depth += 1
+
+        lane_levels = self._msbfs_collect_levels(lanes)
+        return MSBFSResult(
+            sources=batch,
+            lane_levels=lane_levels,
+            lane_iterations=lane_iterations_from_levels(lane_levels),
+            sweeps=sweeps,
+        )
+
+    def _msbfs_reset(self, lanes: int) -> None:
+        """Clear per-shard MS-BFS state before a fresh lane-packed traversal."""
+        if self.backend == "process":
+            futures = [
+                pool.submit(_process_worker_msbfs_reset, lanes)
+                for pool in self._process_pools
+            ]
+            for future in futures:
+                future.result()
+        else:
+            self._msbfs_seen = [
+                np.zeros(self.num_nodes, dtype=np.uint64)
+                for _ in range(self.num_shards)
+            ]
+            self._msbfs_levels = [
+                np.full((lanes, self.num_nodes), UNREACHED, dtype=np.int64)
+                for _ in range(self.num_shards)
+            ]
+
+    def _msbfs_dispatch(
+        self,
+        candidates: dict[int, tuple[np.ndarray, np.ndarray]],
+        depth: int,
+    ) -> dict[int, tuple[np.ndarray, np.ndarray, int, KernelMetrics | None]]:
+        """Run one MS-BFS superstep on every shard with incoming candidates."""
+        if self.backend == "inline":
+            return {
+                shard: _msbfs_step(
+                    self.engines[shard],
+                    self._msbfs_seen[shard],
+                    self._msbfs_levels[shard],
+                    nodes,
+                    masks,
+                    depth,
+                )
+                for shard, (nodes, masks) in candidates.items()
+            }
+        if self.backend == "thread":
+            assert self._thread_pool is not None
+            futures = {
+                shard: self._thread_pool.submit(
+                    _msbfs_step,
+                    self.engines[shard],
+                    self._msbfs_seen[shard],
+                    self._msbfs_levels[shard],
+                    nodes,
+                    masks,
+                    depth,
+                )
+                for shard, (nodes, masks) in candidates.items()
+            }
+        else:
+            futures = {
+                shard: self._process_pools[shard].submit(
+                    _process_worker_msbfs_step, nodes, masks, depth
+                )
+                for shard, (nodes, masks) in candidates.items()
+            }
+        return {shard: future.result() for shard, future in futures.items()}
+
+    def _msbfs_collect_levels(self, lanes: int) -> np.ndarray:
+        """Merge per-shard lane-level matrices over their owned node columns."""
+        lane_levels = np.full(
+            (lanes, self.num_nodes), UNREACHED, dtype=np.int64
+        )
+        if self.backend == "process":
+            futures = [
+                pool.submit(_process_worker_msbfs_levels)
+                for pool in self._process_pools
+            ]
+            shard_levels = [future.result() for future in futures]
+        else:
+            shard_levels = self._msbfs_levels
+        for shard, owned in enumerate(self.partition.shard_nodes):
+            lane_levels[:, owned] = shard_levels[shard][:, owned]
+        return lane_levels
 
     # -- work accounting -------------------------------------------------------
 

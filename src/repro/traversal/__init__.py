@@ -12,7 +12,10 @@ top of the SIMT simulator, plus the engine that combines them:
 * :mod:`segmented` -- Residual Segmentation traversal (Section 5.2);
 * :mod:`gcgt` -- :class:`GCGTEngine`, which runs the
   expansion--filtering--contraction pipeline over a CGR graph with any
-  combination of the optimizations enabled (the knobs Figure 9 sweeps).
+  combination of the optimizations enabled (the knobs Figure 9 sweeps);
+* :mod:`msbfs` -- bit-parallel multi-source BFS: up to 64 concurrent
+  searches packed into one ``uint64`` lane mask per node, advanced by a
+  single shared frontier sweep through the same pipeline.
 """
 
 from repro.traversal.frontier import FrontierQueue
@@ -29,6 +32,7 @@ from repro.traversal.gcgt import (
     STRATEGY_LADDER,
     TraversalSession,
 )
+from repro.traversal.msbfs import LANE_WIDTH, MSBFSResult, msbfs
 
 __all__ = [
     "FrontierQueue",
@@ -44,4 +48,7 @@ __all__ = [
     "GCGTEngine",
     "TraversalSession",
     "STRATEGY_LADDER",
+    "LANE_WIDTH",
+    "MSBFSResult",
+    "msbfs",
 ]

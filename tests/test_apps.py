@@ -48,6 +48,15 @@ class TestBFS:
         with pytest.raises(IndexError):
             bfs(engine_builder(tiny_graph), 99)
 
+    def test_level_of_rejects_out_of_range_ids(self, tiny_graph, engine_builder):
+        # Regression: negative ids used to fall through to Python's
+        # from-the-end indexing and silently return another node's level.
+        result = bfs(engine_builder(tiny_graph), 0)
+        with pytest.raises(IndexError):
+            result.level_of(-1)
+        with pytest.raises(IndexError):
+            result.level_of(tiny_graph.num_nodes)
+
     def test_iterations_equal_max_level(self, web_graph, engine_builder):
         result = bfs(engine_builder(web_graph), 0)
         assert result.iterations >= result.max_level
@@ -89,6 +98,18 @@ class TestConnectedComponents:
         graph = Graph.from_edges(n, [(i, (i + 1) % n) for i in range(n)]).to_undirected()
         result = connected_components(engine_builder(graph))
         assert result.num_components == 1
+
+    def test_same_component_rejects_out_of_range_ids(self, engine_builder):
+        from repro.graph.graph import Graph
+
+        # Regression: negative ids used to alias other nodes' labels via
+        # Python's from-the-end indexing.
+        graph = Graph([[1], [0], []])
+        result = connected_components(engine_builder(graph))
+        with pytest.raises(IndexError):
+            result.same_component(-1, 0)
+        with pytest.raises(IndexError):
+            result.same_component(0, 3)
 
 
 class TestBetweennessCentrality:

@@ -104,6 +104,31 @@ class TestDecodedAdjacencyCache:
         cache.lookup(1, lambda: 1)
         assert cache.misses == 2
 
+    def test_failed_build_leaves_counters_consistent(self):
+        # Regression: a raising build used to count a miss without inserting
+        # a plan or charging miss_decode_ns, so hits + misses drifted from
+        # actual lookup outcomes.  Failures get their own counter now.
+        cache = DecodedAdjacencyCache(4)
+
+        def explode():
+            raise RuntimeError("decode failed")
+
+        with pytest.raises(RuntimeError):
+            cache.lookup(3, explode)
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.build_failures == 1
+        assert cache.miss_decode_ns > 0  # failed build's time is real
+        assert 3 not in cache
+        assert cache.hit_rate == 1.0  # no plan-producing lookups yet
+        assert cache.snapshot().build_failures == 1
+
+        # The node is still buildable afterwards, as an ordinary miss.
+        assert cache.lookup(3, lambda: 30) == 30
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.build_failures == 1
+        assert cache.lookup(3, lambda: 99) == 30
+        assert cache.hits == 1
+
 
 # ---------------------------------------------------------------------------
 # Registry: encode-once semantics
@@ -133,6 +158,24 @@ class TestEncodeOnce:
         service.register_graph("web", three_graphs["web"])
         with pytest.raises(KeyError, match="web"):
             service.submit([BFSQuery("nope", 0)])
+
+    def test_every_query_kind_rejects_bad_sources_uniformly(self, three_graphs):
+        # Regression: BFS range-checked its source inside bfs() while the
+        # BC/PageRank paths relied on downstream behaviour.  Admission now
+        # validates every kind the same way, before any counter moves.
+        from repro.service import PageRankQuery
+
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"])
+        num_nodes = three_graphs["web"].num_nodes
+        for make in (BFSQuery, BCQuery, PageRankQuery):
+            for bad_source in (-1, num_nodes):
+                before = service.stats()
+                with pytest.raises(IndexError, match="out of range"):
+                    service.submit([make("web", bad_source)])
+                after = service.stats()
+                assert after.queries_served == before.queries_served
+                assert after.cache_misses == before.cache_misses
 
     def test_scheduling_only_config_differences_get_distinct_engines(
         self, three_graphs
@@ -206,9 +249,13 @@ class TestEncodeOnce:
 
 class TestCacheBehaviourThroughService:
     def test_cold_then_warm_query_hit_counters(self, three_graphs):
+        # Two same-graph BFS queries in ONE batch now share a lane-packed
+        # MS-BFS sweep (see tests/test_msbfs.py), so the cold/warm contrast
+        # needs two separate batches.
         service = TraversalService()
         service.register_graph("web", three_graphs["web"])
-        cold, warm = service.submit([BFSQuery("web", 0), BFSQuery("web", 0)])
+        [cold] = service.submit([BFSQuery("web", 0)])
+        [warm] = service.submit([BFSQuery("web", 0)])
         assert cold.metrics.cache_misses > 0
         assert warm.metrics.cache_misses == 0
         assert warm.metrics.cache_hits > 0
@@ -250,9 +297,12 @@ class TestCacheBehaviourThroughService:
         assert entry.engine.metrics.instruction_rounds == 0
 
     def test_cache_miss_decode_ns_attributed_per_query(self, three_graphs):
+        # Separate batches: one submit batch would share a single MS-BFS
+        # sweep and split its decode time across both lanes.
         service = TraversalService()
         entry = service.register_graph("web", three_graphs["web"])
-        cold, warm = service.submit([BFSQuery("web", 0), BFSQuery("web", 0)])
+        [cold] = service.submit([BFSQuery("web", 0)])
+        [warm] = service.submit([BFSQuery("web", 0)])
         # The cold query decoded plans on its misses and the wall-clock cost
         # of that work is surfaced on its metrics.
         assert cold.metrics.cache_misses > 0
