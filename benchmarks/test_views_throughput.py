@@ -1,0 +1,60 @@
+"""Maintenance gate: incremental view repair vs from-scratch recompute.
+
+The acceptance bar of the view subsystem (:mod:`repro.views`): on update
+streams whose batches touch well under 1% of the edges, keeping a
+materialized answer fresh through incremental maintenance must be at least
+``VIEWS_SPEEDUP_MIN`` times cheaper than recomputing the answer from
+scratch after every batch -- at verified-equal answers (CC and k-hop levels
+bit-identical, approximate PageRank inside its residual certificate; see
+:mod:`repro.bench.views_bench` for the measurement core and the per-kind
+stream shapes).
+
+The threshold defaults to the full 5x gate; the CI perf-smoke job runs this
+file on every PR with ``VIEWS_SPEEDUP_MIN=2`` so maintenance-path
+regressions fail fast without making quick CI hostage to shared-runner
+noise, while the slow-benchmarks job keeps the full bar.
+
+``scripts/record_bench.py --only views`` runs the same measurement and
+records the numbers into ``BENCH_views.json`` so the maintenance-cost
+trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.views_bench import VIEWS_BENCH_KINDS, run_views_benchmark
+
+#: Default (full-gate) maintenance-vs-recompute speedup views must deliver.
+FULL_GATE_SPEEDUP = 5.0
+
+
+def _threshold() -> float:
+    return float(os.environ.get("VIEWS_SPEEDUP_MIN", FULL_GATE_SPEEDUP))
+
+
+def test_view_maintenance_beats_scratch_recompute(run_once):
+    threshold = _threshold()
+    results = run_once(run_views_benchmark)
+
+    assert [r.kind for r in results] == list(VIEWS_BENCH_KINDS)
+    # The gate is the aggregate cost over the whole sweep; additionally no
+    # single kind may fall far behind (per-kind numbers live in
+    # BENCH_views.json for trend tracking).
+    total_maintain = sum(r.maintain_seconds for r in results)
+    total_scratch = sum(r.scratch_seconds for r in results)
+    aggregate = total_scratch / total_maintain
+    assert aggregate >= threshold, (
+        f"aggregate view-maintenance speedup {aggregate:.1f}x across "
+        f"{len(results)} kinds, need >= {threshold:.1f}x"
+    )
+    for result in results:
+        assert result.batch_edges * 100 <= result.edges, (
+            f"{result.kind}: batches touch more than 1% of edges"
+        )
+        assert result.speedup >= 0.6 * threshold, (
+            f"{result.kind}: maintain {result.maintain_seconds * 1e3:.2f} ms "
+            f"vs scratch {result.scratch_seconds * 1e3:.2f} ms over "
+            f"{result.batches} batches -- only {result.speedup:.1f}x, "
+            f"need >= {0.6 * threshold:.1f}x"
+        )

@@ -1,0 +1,130 @@
+"""Live query views: answers that stay fresh while the graph mutates.
+
+Querying an evolving graph usually means recomputing the answer after
+every update batch.  Materialized views (:mod:`repro.views`) keep the
+answer resident and *repair* it from each batch's delta record instead:
+
+1. register a graph and three views over it -- connected components
+   (union-find repair), exact personalized PageRank (support-scoped
+   replay, float-identical to from-scratch), and bounded-staleness
+   approximate PageRank (delta-push residual corrections);
+2. stream update batches through ``service.apply_updates`` and read the
+   views after each batch -- eager views repair inside the update call,
+   lazy ones on read, and the approximate view is allowed to serve a
+   stale answer for up to ``max_staleness`` epochs;
+3. verify every served answer against a from-scratch recompute of the
+   same query, and inspect the error certificate the approximate view
+   carries;
+4. compare what maintenance cost against the recompute cost it avoided
+   (``ViewStats.savings_ratio``).
+
+Run with::
+
+    python examples/live_views.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+from repro import EdgeUpdate, NaiveCPUEngine, TraversalService, load_dataset
+from repro.apps.cc import reference_components
+from repro.apps.pagerank import personalized_pagerank
+
+
+def random_batch(rng: random.Random, current, size: int,
+                 with_deletes: bool) -> list[EdgeUpdate]:
+    """A growth batch localized to the upper half of the id space.
+
+    Real update streams are rarely uniform: here the churn lands far from
+    the PageRank source (node 0), the way a crawl frontier grows away from
+    the old core -- which is exactly when support-scoped exact views can
+    skip whole batches.  Every few batches ``with_deletes`` mixes in
+    deletions of live edges to exercise the repair paths.
+    """
+    num_nodes = current.num_nodes
+    low = num_nodes // 2
+    batch = []
+    for _ in range(size):
+        u = rng.randrange(low, num_nodes)
+        neighbors = current.neighbors(u)
+        if with_deletes and neighbors and rng.random() < 0.25:
+            batch.append(EdgeUpdate.delete(u, rng.choice(neighbors)))
+        else:
+            v = rng.randrange(low, num_nodes)
+            if v != u:
+                batch.append(EdgeUpdate.insert(u, v))
+    return batch
+
+
+def main() -> None:
+    """Maintain three views through an update stream and audit the ledger."""
+    service = TraversalService()
+    graph = load_dataset("uk-2002", scale=1200)
+    service.register_graph("live", graph)
+    print(f"registered 'live': {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    service.register_view("communities", "live", kind="cc")
+    service.register_view("rank", "live", kind="pagerank",
+                          params={"source": 0, "epsilon": 1e-3})
+    service.register_view(
+        "rank~", "live", kind="pagerank",
+        params={"source": 0, "mode": "approx", "max_staleness": 2},
+        refresh="lazy",
+    )
+    print("views resident:", ", ".join(service.views.names()))
+
+    rng = random.Random(7)
+    model = graph
+    for step in range(6):
+        batch = random_batch(rng, model, size=24,
+                             with_deletes=(step % 3 == 2))
+        stats = service.apply_updates("live", batch)
+        model = model.with_edge_updates(stats.applied)
+
+        communities = service.view_result("communities")
+        assert np.array_equal(
+            communities.value,
+            reference_components(model.to_undirected().adjacency()),
+        )
+
+        began = time.perf_counter()
+        exact = service.view_result("rank")
+        view_ms = (time.perf_counter() - began) * 1e3
+        began = time.perf_counter()
+        oracle = personalized_pagerank(NaiveCPUEngine(model), 0,
+                                       epsilon=1e-3,
+                                       degrees=model.degrees())
+        scratch_ms = (time.perf_counter() - began) * 1e3
+        assert np.array_equal(exact.value.estimates, oracle.estimates)
+
+        approx = service.view_result("rank~")
+        freshness = (f"stale by {approx.staleness}" if approx.staleness
+                     else "fresh")
+        print(f"batch {step}: +{stats.inserted}/-{stats.deleted} edges | "
+              f"components {len(np.unique(communities.value))} | "
+              f"exact read {view_ms:.2f} ms vs scratch {scratch_ms:.2f} ms | "
+              f"approx {freshness}, certified L1 error "
+              f"<= {approx.value.error_bound:.2e}")
+
+    print("\nmaintenance ledger:")
+    for name in service.views.names():
+        stats = service.view_stats(name)
+        print(f"  {name:12s} incremental={stats.incremental_batches} "
+              f"skipped={stats.skipped_batches} "
+              f"recomputes={stats.full_recomputes} "
+              f"stale_serves={stats.stale_serves} "
+              f"savings={stats.savings_ratio:.1f}x")
+    totals = service.stats()
+    print(f"\nservice-wide: {totals.views_resident} views, "
+          f"{totals.view_incremental_batches} incremental batches, "
+          f"avoided recompute cost {totals.view_avoided_cost:,.0f} units "
+          f"for {totals.view_maintenance_cost:,.0f} units of maintenance")
+
+
+if __name__ == "__main__":
+    main()

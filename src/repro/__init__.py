@@ -37,6 +37,11 @@ it depends on, in pure Python:
   re-encoding), bit-exact delta-overlay serialization, and Iceberg-style
   epoch snapshots, fronted by ``TraversalService.save_graph`` /
   ``load_graph`` so a restarted service resumes with identical answers;
+* :mod:`repro.views` -- incrementally maintained query views: named
+  CC/PageRank/k-hop answers kept resident and repaired from the update
+  stream (union-find repair, delta-push residuals, frontier re-sweeps)
+  instead of recomputed, with epoch-tagged staleness bounds in
+  approximate mode;
 * :mod:`repro.bench` -- the harness regenerating every table and figure of
   the paper's evaluation (its GCGT bars run through the service).
 
@@ -96,9 +101,11 @@ from repro.service import (
 from repro.dynamic import (
     CompactionPolicy,
     DeltaOverlay,
+    DeltaRecord,
     EdgeUpdate,
     UpdateStats,
 )
+from repro.views import ViewManager, ViewResult, ViewStats
 from repro.shard import (
     GraphPartition,
     GreedyEdgeCutPartitioner,
@@ -138,8 +145,12 @@ __all__ = [
     "TraversalService",
     "CompactionPolicy",
     "DeltaOverlay",
+    "DeltaRecord",
     "EdgeUpdate",
     "UpdateStats",
+    "ViewManager",
+    "ViewResult",
+    "ViewStats",
     "GraphPartition",
     "HashPartitioner",
     "RangePartitioner",

@@ -1,0 +1,235 @@
+"""View maintenance vs from-scratch recompute on small-delta streams.
+
+The measurement core shared by the gate benchmark
+(``benchmarks/test_views_throughput.py``) and the recording script
+(``scripts/record_bench.py --only views``): register one materialized view
+per kind over a web-crawl-style graph, drive an update stream whose batches
+each touch well under 1% of the edges, and after every batch time two ways
+of producing the fresh answer:
+
+* **maintain** -- the view's incremental repair, isolated by registering the
+  view lazy and timing :meth:`~repro.service.TraversalService.refresh_view`
+  (which drains exactly the one queued delta record);
+* **scratch** -- the from-scratch oracle recompute every pre-view consumer
+  paid per batch (:func:`~repro.apps.cc.reference_components`,
+  :func:`~repro.apps.bfs.reference_bfs_levels`,
+  :func:`~repro.apps.pagerank.personalized_pagerank`).
+
+Both paths face the same ingested overlay state; the answers are verified
+identical (CC and k-hop bit-for-bit, approximate PageRank within its
+residual certificate) before any timing is reported, so the speedup is
+always a speedup *at equal answers*.
+
+Stream shapes are chosen per kind to match what each maintenance algorithm
+is for: CC and k-hop run insert-dominated growth streams (their deletion
+fallbacks are component-scoped / full re-sweeps by design, see
+``docs/ARCHITECTURE.md``), while approximate PageRank runs a mixed
+insert/delete stream through its delta-push corrections.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.apps.bfs import reference_bfs_levels
+from repro.apps.cc import reference_components
+from repro.apps.pagerank import personalized_pagerank
+from repro.baselines.cpu import NaiveCPUEngine
+from repro.dynamic.updates import EdgeUpdate
+from repro.graph.generators import web_locality_graph
+from repro.graph.graph import Graph
+from repro.service.service import TraversalService
+
+#: Node count of the benchmark graph -- large enough that from-scratch
+#: recomputes dominate tiny-batch repair the way paper-scale graphs would.
+VIEWS_BENCH_SCALE = 4000
+
+#: Update batches per stream.
+VIEWS_BENCH_BATCHES = 6
+
+#: Edges touched per batch, as a fraction of the graph's edges (<= 1%).
+VIEWS_BENCH_DELTA_FRACTION = 0.001
+
+#: The view kinds the sweep measures, in reporting order.
+VIEWS_BENCH_KINDS: tuple[str, ...] = ("cc", "khop", "pagerank_approx")
+
+#: PageRank push tolerance used by both the view and the oracle.
+_PAGERANK_EPSILON = 1e-4
+
+_SOURCE = 0
+
+
+@dataclass(frozen=True)
+class ViewsBenchResult:
+    """One view kind's measured per-stream maintenance vs recompute cost."""
+
+    kind: str
+    stream: str
+    nodes: int
+    edges: int
+    batches: int
+    batch_edges: int
+    maintain_seconds: float
+    scratch_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """How many times cheaper maintaining the view is than recomputing."""
+        return self.scratch_seconds / self.maintain_seconds
+
+    @property
+    def maintain_batches_per_sec(self) -> float:
+        """Throughput of the incremental maintenance path."""
+        return self.batches / self.maintain_seconds
+
+    def as_row(self) -> dict:
+        """A JSON-ready row (dataclass fields plus the derived rates)."""
+        row = asdict(self)
+        row["speedup"] = round(self.speedup, 2)
+        row["maintain_batches_per_sec"] = round(self.maintain_batches_per_sec, 1)
+        row["maintain_seconds"] = round(self.maintain_seconds, 6)
+        row["scratch_seconds"] = round(self.scratch_seconds, 6)
+        return row
+
+
+def _bench_graph(scale: int) -> Graph:
+    return web_locality_graph(scale, avg_degree=8.0, seed=41)
+
+
+def _insert_batch(rng, num_nodes: int, size: int) -> list[EdgeUpdate]:
+    """A growth batch: ``size`` random non-loop directed inserts."""
+    batch: list[EdgeUpdate] = []
+    while len(batch) < size:
+        u, v = rng.integers(0, num_nodes, 2)
+        if u != v:
+            batch.append(EdgeUpdate.insert(int(u), int(v)))
+    return batch
+
+
+def _mixed_batch(rng, model: Graph, size: int) -> list[EdgeUpdate]:
+    """A churn batch: ~90% inserts, ~10% deletes of live edges."""
+    edges = [
+        (u, v)
+        for u, neighbors in enumerate(model.adjacency())
+        for v in neighbors
+    ]
+    batch: list[EdgeUpdate] = []
+    while len(batch) < size:
+        if edges and rng.random() < 0.1:
+            u, v = edges[int(rng.integers(len(edges)))]
+            batch.append(EdgeUpdate.delete(int(u), int(v)))
+        else:
+            u, v = rng.integers(0, model.num_nodes, 2)
+            if u != v:
+                batch.append(EdgeUpdate.insert(int(u), int(v)))
+    return batch
+
+
+def _scratch_recompute(kind: str, model: Graph):
+    """The from-scratch oracle a view of ``kind`` replaces."""
+    if kind == "cc":
+        return reference_components(model.to_undirected().adjacency())
+    if kind == "khop":
+        return reference_bfs_levels(model.adjacency(), _SOURCE)
+    if kind == "pagerank_approx":
+        return personalized_pagerank(
+            NaiveCPUEngine(model), _SOURCE,
+            epsilon=_PAGERANK_EPSILON, degrees=model.degrees(),
+        )
+    raise ValueError(f"unknown benchmark kind {kind!r}")
+
+
+def _verify(kind: str, view_value, oracle) -> None:
+    """Equal answers or no timing: the speedup must not buy wrong results."""
+    if kind == "cc" or kind == "khop":
+        assert np.array_equal(view_value, oracle), f"{kind} view diverged"
+    else:
+        gap = float(np.abs(view_value.estimates - oracle.estimates).sum())
+        bound = (
+            view_value.error_bound
+            + float(np.abs(oracle.residuals).sum())
+            + 1e-9
+        )
+        assert gap <= bound, (
+            f"approx pagerank outside certificate: gap={gap} bound={bound}"
+        )
+
+
+def measure_kind(
+    kind: str,
+    scale: int = VIEWS_BENCH_SCALE,
+    batches: int = VIEWS_BENCH_BATCHES,
+) -> ViewsBenchResult:
+    """Measure one view kind's maintenance-vs-recompute cost on its stream."""
+    graph = _bench_graph(scale)
+    batch_edges = max(8, int(graph.num_edges * VIEWS_BENCH_DELTA_FRACTION))
+
+    service = TraversalService()
+    service.register_graph("g", graph)
+    view_kind, params = {
+        "cc": ("cc", None),
+        "khop": ("khop", {"source": _SOURCE}),
+        "pagerank_approx": (
+            "pagerank",
+            {"source": _SOURCE, "epsilon": _PAGERANK_EPSILON, "mode": "approx"},
+        ),
+    }[kind]
+    service.register_view("view", "g", kind=view_kind, params=params,
+                          refresh="lazy")
+
+    stream = "insert-growth" if kind in ("cc", "khop") else "mixed-churn-10%del"
+    rng = np.random.default_rng(43)
+    model = graph
+    maintain_seconds = 0.0
+    scratch_seconds = 0.0
+    for _ in range(batches):
+        if stream == "insert-growth":
+            batch = _insert_batch(rng, graph.num_nodes, batch_edges)
+        else:
+            batch = _mixed_batch(rng, model, batch_edges)
+        stats = service.apply_updates("g", batch)      # both paths pay ingest
+        model = model.with_edge_updates(stats.applied)
+
+        began = time.perf_counter()
+        result = service.refresh_view("view")          # drains this one batch
+        maintain_seconds += time.perf_counter() - began
+
+        began = time.perf_counter()
+        oracle = _scratch_recompute(kind, model)
+        scratch_seconds += time.perf_counter() - began
+
+        _verify(kind, result.value, oracle)
+
+    return ViewsBenchResult(
+        kind=kind,
+        stream=stream,
+        nodes=model.num_nodes,
+        edges=model.num_edges,
+        batches=batches,
+        batch_edges=batch_edges,
+        maintain_seconds=maintain_seconds,
+        scratch_seconds=scratch_seconds,
+    )
+
+
+def run_views_benchmark(
+    scale: int = VIEWS_BENCH_SCALE,
+    batches: int = VIEWS_BENCH_BATCHES,
+) -> list[ViewsBenchResult]:
+    """Measure every kind in :data:`VIEWS_BENCH_KINDS`."""
+    return [measure_kind(kind, scale=scale, batches=batches)
+            for kind in VIEWS_BENCH_KINDS]
+
+
+__all__ = [
+    "VIEWS_BENCH_BATCHES",
+    "VIEWS_BENCH_DELTA_FRACTION",
+    "VIEWS_BENCH_KINDS",
+    "VIEWS_BENCH_SCALE",
+    "ViewsBenchResult",
+    "measure_kind",
+    "run_views_benchmark",
+]

@@ -32,6 +32,7 @@ Quick start -- mutate a registered graph and keep serving::
 from repro.dynamic.compaction import CompactionPolicy
 from repro.dynamic.overlay import DeltaOverlay, NodeDelta, OverlayStats, SplicedBits
 from repro.dynamic.updates import (
+    DeltaRecord,
     EdgeUpdate,
     UpdateStats,
     coerce_updates,
@@ -43,6 +44,7 @@ from repro.dynamic.updates import (
 __all__ = [
     "CompactionPolicy",
     "DeltaOverlay",
+    "DeltaRecord",
     "EdgeUpdate",
     "NodeDelta",
     "OverlayStats",

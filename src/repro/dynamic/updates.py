@@ -15,7 +15,7 @@ cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
 #: Update kinds.  ``INSERT`` adds a directed edge, ``DELETE`` tombstones one.
 INSERT = "insert"
@@ -110,6 +110,81 @@ def symmetrized(updates: Iterable) -> list[EdgeUpdate]:
     return result
 
 
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One applied update batch, as broadcast to delta-stream subscribers.
+
+    :meth:`repro.service.GraphRegistry.apply_updates` emits one record per
+    *effective* batch (a batch that changed nothing -- empty, or all no-ops --
+    emits no record at all), after every resident entry absorbed it.
+    Incremental consumers (the materialized views of :mod:`repro.views`, and
+    eventually CDC followers) repair their state from the record instead of
+    recomputing from the graph.
+
+    Attributes:
+        name: the registered graph name the batch was applied to.
+        epoch: the graph's logical update epoch after this batch -- the
+            count of effective batches ever applied to the name.  Unlike the
+            overlay epoch it never moves on compaction, so it measures
+            *logical* staleness.
+        graph_epoch: the representative entry's overlay/executor epoch after
+            the batch (compactions included), for correlation with
+            :attr:`~repro.service.queries.QueryMetrics.graph_epoch`.
+        applied: the effective directed updates, in application order.
+        mirror_applied: the same batch translated for the undirected
+            interpretation (both directions materialised on insert; a delete
+            emitted only when neither direction survives) -- what CC-style
+            consumers repair from.
+        touched_nodes: source nodes whose directed adjacency changed.
+    """
+
+    name: str
+    epoch: int
+    graph_epoch: int
+    applied: tuple[EdgeUpdate, ...]
+    mirror_applied: tuple[EdgeUpdate, ...]
+    touched_nodes: frozenset[int]
+
+    @classmethod
+    def coalesce(cls, records: "Sequence[DeltaRecord]") -> "DeltaRecord":
+        """Fold consecutive records of one graph into a single span record.
+
+        Lazy consumers that queued several epochs of deltas must apply them
+        against the graph's *current* adjacency -- replaying the records one
+        by one would pair each record's old-state derivation with the wrong
+        (final) topology.  Concatenating the applied streams in epoch order
+        preserves the per-pair op ordering that net-change derivation relies
+        on (first op kind reveals the pre-span state, last op kind the
+        post-span state), so the coalesced record describes the whole span
+        exactly as one big eagerly-applied batch would.
+        """
+        if not records:
+            raise ValueError("cannot coalesce an empty record sequence")
+        names = {record.name for record in records}
+        if len(names) != 1:
+            raise ValueError(
+                f"cannot coalesce records of different graphs: {sorted(names)}"
+            )
+        if len(records) == 1:
+            return records[0]
+        last = records[-1]
+        touched: set[int] = set()
+        for record in records:
+            touched.update(record.touched_nodes)
+        return cls(
+            name=last.name,
+            epoch=last.epoch,
+            graph_epoch=last.graph_epoch,
+            applied=tuple(
+                update for record in records for update in record.applied
+            ),
+            mirror_applied=tuple(
+                update for record in records for update in record.mirror_applied
+            ),
+            touched_nodes=frozenset(touched),
+        )
+
+
 @dataclass
 class UpdateStats:
     """What applying one batch actually did.
@@ -152,6 +227,7 @@ class UpdateStats:
 
 __all__ = [
     "DELETE",
+    "DeltaRecord",
     "EdgeUpdate",
     "INSERT",
     "UpdateStats",

@@ -40,7 +40,12 @@ from typing import TYPE_CHECKING
 from repro.compression.cgr import CGRGraph
 from repro.dynamic.compaction import CompactionPolicy
 from repro.dynamic.overlay import DeltaOverlay
-from repro.dynamic.updates import EdgeUpdate, UpdateStats, coerce_updates
+from repro.dynamic.updates import (
+    DeltaRecord,
+    EdgeUpdate,
+    UpdateStats,
+    coerce_updates,
+)
 from repro.gpu.device import GPUDevice
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
@@ -200,6 +205,30 @@ class GraphRegistry:
         self.update_batches = 0
         self.edges_inserted = 0
         self.edges_deleted = 0
+        #: Per-name logical update epochs: effective batches applied to the
+        #: name (compaction never moves these, unlike overlay epochs).
+        self._logical_epochs: dict[str, int] = {}
+        #: Delta-stream subscribers, called with one
+        #: :class:`~repro.dynamic.DeltaRecord` per effective batch.
+        self._subscribers: list = []
+
+    # -- delta stream ----------------------------------------------------------
+
+    def subscribe(self, callback) -> None:
+        """Register a delta-stream consumer.
+
+        ``callback`` receives one :class:`~repro.dynamic.DeltaRecord` per
+        *effective* :meth:`apply_updates` batch (empty and all-no-op batches
+        emit nothing), after every resident entry has absorbed the batch --
+        so a subscriber reading the registry sees post-batch state.  This is
+        how the :class:`~repro.views.ViewManager` maintains materialized
+        views, and the hook a future CDC exporter tails.
+        """
+        self._subscribers.append(callback)
+
+    def logical_epoch(self, name: str) -> int:
+        """Effective update batches ever applied to ``name`` (0 initially)."""
+        return self._logical_epochs.get(name, 0)
 
     # -- registration ---------------------------------------------------------
 
@@ -412,6 +441,9 @@ class GraphRegistry:
         invalidated; untouched plans stay warm.  Raises :class:`KeyError`
         for unknown names.
 
+        An empty batch is a true no-op: no epoch moves, no cache entry is
+        invalidated, no counter changes and no view maintenance runs.
+
         Returns the effective :class:`~repro.dynamic.UpdateStats` of one
         representative entry (all same-name entries hold the same topology,
         so their applied sets coincide; compactions are summed across
@@ -424,6 +456,8 @@ class GraphRegistry:
             raise KeyError(
                 f"graph {name!r} is not registered; registered names: {known}"
             )
+        if not batch:
+            return UpdateStats()
         total: UpdateStats | None = None
         for key in keys:
             entry = self._entries[key]
@@ -436,7 +470,29 @@ class GraphRegistry:
         self.update_batches += 1
         self.edges_inserted += total.inserted
         self.edges_deleted += total.deleted
+        if total.changed:
+            self._notify(name, self._entries[keys[0]], total)
         return total
+
+    def _notify(
+        self, name: str, representative: RegisteredGraph, total: UpdateStats
+    ) -> None:
+        """Advance the logical epoch and broadcast one effective batch."""
+        self._logical_epochs[name] = self.logical_epoch(name) + 1
+        if not self._subscribers:
+            return
+        record = DeltaRecord(
+            name=name,
+            epoch=self._logical_epochs[name],
+            graph_epoch=representative.epoch,
+            applied=tuple(total.applied),
+            mirror_applied=tuple(
+                self._mirror_batch(total.applied, representative.graph)
+            ),
+            touched_nodes=frozenset(total.touched_nodes),
+        )
+        for subscriber in self._subscribers:
+            subscriber(record)
 
     def _apply_to_entry(
         self, entry: RegisteredGraph, batch: list[EdgeUpdate]

@@ -40,6 +40,8 @@ from repro.service.queries import (
     QueryResult,
 )
 from repro.service.registry import GraphRegistry, RegisteredGraph
+from repro.views.base import ViewResult, ViewStats
+from repro.views.manager import ViewManager
 
 
 def _split_count(total: int, lanes: int) -> list[int]:
@@ -78,6 +80,16 @@ class ServiceStats:
         exchange_volume: total scatter-gather messages exchanged by sharded
             entries across the life of the service (0 with no sharded
             registrations).
+        views_resident: materialized views currently registered.
+        view_incremental_batches / view_skipped_batches /
+        view_full_recomputes / view_stale_serves: the views' aggregate
+            maintenance ledger -- batches repaired in place, batches proven
+            irrelevant and skipped, batches that fell back to a from-scratch
+            recompute, and results served stale under a staleness bound
+            (see :class:`~repro.views.ViewStats`).
+        view_maintenance_cost / view_avoided_cost: modelled maintenance
+            work performed vs the from-scratch recompute work it replaced,
+            summed over all views.
     """
 
     graphs_resident: int
@@ -94,6 +106,13 @@ class ServiceStats:
     cache_miss_decode_ns: int = 0
     bits_per_edge: dict = field(default_factory=dict)
     exchange_volume: int = 0
+    views_resident: int = 0
+    view_incremental_batches: int = 0
+    view_skipped_batches: int = 0
+    view_full_recomputes: int = 0
+    view_stale_serves: int = 0
+    view_maintenance_cost: float = 0.0
+    view_avoided_cost: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -117,6 +136,9 @@ class TraversalService:
             default_config=self.config,
             cache_capacity=cache_capacity,
         )
+        #: Materialized views over registered graphs, maintained from the
+        #: registry's delta stream (see :mod:`repro.views`).
+        self.views = ViewManager(self.registry)
         self.queries_served = 0
 
     # -- graph management -----------------------------------------------------
@@ -172,9 +194,59 @@ class TraversalService:
 
         For wholesale dataset refreshes where an update stream is not
         available; pays a full re-encode (see
-        :meth:`~repro.service.GraphRegistry.replace`).
+        :meth:`~repro.service.GraphRegistry.replace`).  Materialized views
+        of ``name`` are rebuilt from the new topology (there is no delta
+        stream to repair them from).
         """
-        return self.registry.replace(name, graph, config)
+        entry = self.registry.replace(name, graph, config)
+        self.views.invalidate_graph(name)
+        return entry
+
+    # -- materialized views ----------------------------------------------------
+
+    def register_view(
+        self,
+        name: str,
+        graph: str,
+        kind: str,
+        params: dict | None = None,
+        refresh: str = "eager",
+    ) -> ViewResult:
+        """Materialize a named query view over a registered graph.
+
+        ``kind`` is ``"cc"``, ``"pagerank"`` or ``"khop"``; ``params`` are
+        kind-specific (e.g. ``{"source": 0}`` for PageRank and k-hop,
+        ``{"source": 0, "mode": "approx", "max_staleness": 3}`` for
+        bounded-staleness PageRank); ``refresh`` is ``"eager"`` (repaired
+        inside every :meth:`apply_updates`) or ``"lazy"`` (repaired when
+        read).  The view is built now and maintained incrementally from the
+        update stream thereafter -- union-find repair for components,
+        delta-push residual propagation for PageRank, frontier re-sweeps
+        for k-hop levels (see :mod:`repro.views`).  Returns the freshly
+        built first result.
+        """
+        return self.views.register_view(
+            name, graph, kind, params=params, refresh=refresh
+        )
+
+    def view_result(self, name: str) -> ViewResult:
+        """The view's current answer, epoch-tagged (see
+        :meth:`~repro.views.ViewManager.view_result`); lazy views repair
+        first unless within their staleness bound."""
+        return self.views.view_result(name)
+
+    def refresh_view(self, name: str, full: bool = False) -> ViewResult:
+        """Force a view's maintenance now; ``full=True`` rebuilds from the
+        live topology (resetting approximate-mode residual error)."""
+        return self.views.refresh_view(name, full=full)
+
+    def drop_view(self, name: str) -> None:
+        """Stop maintaining a view and forget its materialized state."""
+        self.views.drop_view(name)
+
+    def view_stats(self, name: str) -> ViewStats:
+        """One view's maintenance ledger (cumulative counters)."""
+        return self.views.stats(name)
 
     # -- persistence ----------------------------------------------------------
 
@@ -505,6 +577,7 @@ class TraversalService:
             entry.name: entry.bits_per_edge
             for entry in self.registry.primary_entries()
         }
+        view_totals = self.views.aggregate_stats()
         return ServiceStats(
             graphs_resident=len(entries),
             encode_calls=self.registry.encode_calls,
@@ -524,6 +597,13 @@ class TraversalService:
                 for e in entries
                 if e.executor is not None
             ),
+            views_resident=len(self.views),
+            view_incremental_batches=view_totals.incremental_batches,
+            view_skipped_batches=view_totals.skipped_batches,
+            view_full_recomputes=view_totals.full_recomputes,
+            view_stale_serves=view_totals.stale_serves,
+            view_maintenance_cost=view_totals.maintenance_cost,
+            view_avoided_cost=view_totals.avoided_cost,
         )
 
 

@@ -1020,6 +1020,47 @@ class ShardExecutor:
 
     # -- materialisation -------------------------------------------------------
 
+    def gather_adjacency(self, nodes) -> dict[int, list[int]]:
+        """Decode the live adjacency of ``nodes``, routed to owner shards.
+
+        One scatter: the requested ids are split by owner
+        (:meth:`~repro.shard.partition.GraphPartition.split_frontier`), each
+        touched shard decodes its share through its resident engine --
+        tombstones suppressed, side-stream inserts merged -- and the sorted
+        neighbour lists are gathered back, keyed by node id.  This is the
+        repair-read path of the incremental views (:mod:`repro.views`):
+        component-scoped recompute and frontier re-sweeps fetch exactly the
+        adjacency they touch, shard-parallel, without materialising the
+        whole graph.  Counts as one superstep in the exchange ledger.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        node_list = [int(node) for node in nodes]
+        if not node_list:
+            return {}
+        num_nodes = self.num_nodes
+        for node in node_list:
+            if not 0 <= node < num_nodes:
+                raise IndexError(
+                    f"node {node} out of range [0, {num_nodes})"
+                )
+        groups = self.partition.split_frontier(node_list)
+        self.supersteps += 1
+        for shard in groups:
+            self.shard_touches[shard] += 1
+        results = self._scatter(groups)
+        merged: dict[int, list[int]] = {}
+        step_costs = []
+        for shard, (collected, metrics) in results.items():
+            self.kernel_metrics.merge(metrics)
+            step_costs.append(self.device.cost(metrics))
+            for node, neighbors in collected.items():
+                merged[node] = neighbors
+                self.exchange_volume += len(neighbors)
+        if step_costs:
+            self.critical_cost += max(step_costs)
+        return merged
+
     def adjacency(self) -> list[list[int]]:
         """Every node's merged live adjacency (updates applied), node order.
 

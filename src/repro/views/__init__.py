@@ -1,0 +1,62 @@
+"""Incrementally maintained query views over the delta overlay.
+
+Materialized views keep named query answers -- connected components,
+personalized PageRank, k-hop BFS levels -- resident and consistent with
+their registered graphs by consuming the update stream
+:meth:`~repro.service.GraphRegistry.apply_updates` emits, instead of
+recomputing from scratch after every batch (the
+answering-queries-under-updates idea of Berkholz et al. applied to the
+traversal stack):
+
+* :mod:`repro.views.base` -- the shared contract:
+  :class:`MaterializedView`, epoch-tagged :class:`ViewResult`, the
+  :class:`ViewStats` maintenance ledger and the :class:`GraphContext`
+  adjacency window (per-shard-routed on sharded graphs);
+* :mod:`repro.views.cc` -- union-find repair under insertions, bounded
+  component-scoped recompute under deletions;
+* :mod:`repro.views.pagerank` -- forward-push estimates maintained by
+  delta-push residual corrections (approximate mode, with a residual-norm
+  error certificate and an epoch staleness bound) or support-scoped replay
+  (exact mode, float-identical to from-scratch);
+* :mod:`repro.views.khop` -- BFS levels re-swept only from frontier nodes
+  whose adjacency changed, with harmful-deletion fallback;
+* :mod:`repro.views.manager` -- :class:`ViewManager`: registration,
+  eager/lazy refresh policies, delta-stream subscription, replacement
+  invalidation.
+
+Quick start -- through the service layer::
+
+    from repro import EdgeUpdate, TraversalService
+
+    service = TraversalService()
+    service.register_graph("live", graph)
+    service.register_view("cc", "live", kind="cc")
+    service.apply_updates("live", [EdgeUpdate.insert(0, 7)])
+    labels = service.view_result("cc").value      # repaired, not recomputed
+    print(service.view_stats("cc").savings_ratio)
+"""
+
+from repro.views.base import (
+    GraphContext,
+    MaterializedView,
+    ViewResult,
+    ViewStats,
+)
+from repro.views.cc import CCView
+from repro.views.khop import KHopView
+from repro.views.manager import REFRESH_POLICIES, VIEW_KINDS, ViewManager
+from repro.views.pagerank import PageRankValue, PageRankView
+
+__all__ = [
+    "CCView",
+    "GraphContext",
+    "KHopView",
+    "MaterializedView",
+    "PageRankValue",
+    "PageRankView",
+    "REFRESH_POLICIES",
+    "VIEW_KINDS",
+    "ViewManager",
+    "ViewResult",
+    "ViewStats",
+]

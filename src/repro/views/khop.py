@@ -1,0 +1,194 @@
+"""Incrementally maintained k-hop / BFS-level view.
+
+The materialized answer is the BFS level array of
+:func:`repro.apps.bfs.reference_bfs_levels` from a fixed source --
+optionally clipped to a ``depth`` horizon (levels beyond it report
+``UNREACHED``).  Distances are canonical, so the view is bit-identical to a
+from-scratch sweep at every epoch.
+
+Maintenance exploits the asymmetry of BFS under updates:
+
+* **Insertions** can only *decrease* distances, and only downstream of the
+  inserted edge: every net-inserted edge ``(u, v)`` with
+  ``level(u) + 1 < level(v)`` (or ``v`` unreached) seeds a wave that
+  re-sweeps outward from the improved frontier nodes, level by level --
+  precisely the "re-sweep only from frontier nodes whose adjacency
+  changed" contract.  Untouched regions of the graph are never read.
+* **Deletions** are *harmless* unless the deleted edge was on some shortest
+  path, which for BFS means exactly ``level(v) == level(u) + 1`` with ``u``
+  reached (any shortest path steps levels by one, so an edge that does not
+  is on none of them).  Harmless deletes cost nothing; a harmful delete
+  falls back to one full re-sweep, and the ledger records it.
+
+Wave adjacency is read through the
+:class:`~repro.views.base.GraphContext`, so on sharded graphs each
+level's frontier gather is routed to owner shards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.apps.bfs import UNREACHED, reference_bfs_levels
+from repro.dynamic.updates import DELETE, DeltaRecord, INSERT
+
+from repro.views.base import GraphContext, MaterializedView, unknown_param_check
+
+
+class KHopView(MaterializedView):
+    """BFS levels from a fixed source, re-swept only where adjacency changed.
+
+    Parameters:
+        source (required): the BFS source node id.
+        depth: optional horizon ``k``; the served array clips levels
+            ``> k`` to ``UNREACHED`` (the full levels are maintained
+            internally, so deepening updates stay incremental).
+    """
+
+    kind = "khop"
+
+    _ALLOWED = ("source", "depth")
+
+    def __init__(
+        self,
+        name: str,
+        context: GraphContext,
+        params: Mapping[str, Any],
+    ) -> None:
+        unknown_param_check(params, self._ALLOWED, self.kind)
+        if "source" not in params:
+            raise ValueError("khop views require a 'source' parameter")
+        super().__init__(name, context, params)
+        self.source = int(params["source"])
+        self.depth = params.get("depth")
+        if self.depth is not None:
+            self.depth = int(self.depth)
+            if self.depth < 0:
+                raise ValueError(f"depth must be non-negative, got {self.depth}")
+        if not 0 <= self.source < context.num_nodes:
+            raise IndexError(
+                f"source {self.source} out of range [0, {context.num_nodes})"
+            )
+        self._levels = np.zeros(0, dtype=np.int64)
+
+    # -- building --------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Full BFS sweep over the live topology."""
+        self._levels = reference_bfs_levels(
+            self.context.full_adjacency(), self.source
+        )
+        self.stats.builds += 1
+
+    # -- maintenance -----------------------------------------------------------
+
+    def apply_delta(self, record: DeltaRecord) -> None:
+        """Classify the batch's net edge changes, then repair or re-sweep."""
+        net_inserts, net_deletes = self._net_changes(record)
+        levels = self._levels
+
+        for u, v in net_deletes:
+            if levels[u] != UNREACHED and levels[v] == levels[u] + 1:
+                # The deleted edge stepped levels by one: it may carry
+                # shortest paths, so distances can grow -- re-sweep.
+                self.rebuild()
+                self.stats.builds -= 1
+                self.stats.full_recomputes += 1
+                self.stats.maintenance_cost += self.context.recompute_cost()
+                return
+
+        seeds: list[int] = []
+        for u, v in net_inserts:
+            if levels[u] == UNREACHED:
+                continue
+            candidate = levels[u] + 1
+            if levels[v] == UNREACHED or levels[v] > candidate:
+                levels[v] = candidate
+                seeds.append(v)
+
+        if not seeds:
+            # No distance can move: surviving deletes were off every
+            # shortest path and no insert improved anything.
+            self.stats.skipped_batches += 1
+            self.stats.avoided_cost += self.context.recompute_cost()
+            return
+
+        work = self._wave(seeds)
+        self.stats.incremental_batches += 1
+        self._charge_batch(work)
+
+    def _net_changes(
+        self, record: DeltaRecord
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Net per-edge effect of the batch's effective op list, in order.
+
+        A pair whose effective ops cancel out (even count) changes nothing;
+        otherwise the last op decides the direction.
+        """
+        ops: dict[tuple[int, int], list[str]] = {}
+        order: list[tuple[int, int]] = []
+        for update in record.applied:
+            pair = (update.source, update.target)
+            if pair not in ops:
+                ops[pair] = []
+                order.append(pair)
+            ops[pair].append(update.kind)
+        inserts: list[tuple[int, int]] = []
+        deletes: list[tuple[int, int]] = []
+        for pair in order:
+            kinds = ops[pair]
+            was_present = kinds[0] == DELETE
+            is_present = kinds[-1] == INSERT
+            if is_present and not was_present:
+                inserts.append(pair)
+            elif was_present and not is_present:
+                deletes.append(pair)
+        return inserts, deletes
+
+    def _wave(self, seeds: list[int]) -> float:
+        """Relax improved levels outward, one frontier gather per level.
+
+        Seeds already hold their improved levels.  Processing strictly in
+        level order makes each node's final level its true distance over the
+        live (post-batch) adjacency, exactly as a full sweep would assign --
+        but only nodes the improvements actually reach are ever gathered.
+        """
+        levels = self._levels
+        buckets: dict[int, set[int]] = {}
+        for node in seeds:
+            buckets.setdefault(int(levels[node]), set()).add(node)
+
+        work = 0.0
+        while buckets:
+            level = min(buckets)
+            frontier = sorted(
+                node for node in buckets.pop(level)
+                if levels[node] == level  # may have improved further since
+            )
+            if not frontier:
+                continue
+            adjacency = self.context.gather_adjacency(frontier)
+            self.stats.repair_fanout += len(frontier)
+            for node in frontier:
+                neighbors = adjacency[node]
+                work += 1.0 + len(neighbors)
+                candidate = level + 1
+                for w in neighbors:
+                    if levels[w] == UNREACHED or levels[w] > candidate:
+                        levels[w] = candidate
+                        buckets.setdefault(candidate, set()).add(w)
+        return work
+
+    # -- serving ---------------------------------------------------------------
+
+    def snapshot(self) -> np.ndarray:
+        """The current level array, clipped to the depth horizon (a copy)."""
+        levels = self._levels.copy()
+        if self.depth is not None:
+            levels[levels > self.depth] = UNREACHED
+        return levels
+
+
+__all__ = ["KHopView"]
