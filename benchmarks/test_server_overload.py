@@ -1,0 +1,87 @@
+"""Front-door gate: graceful degradation under 10x open-loop overload.
+
+The acceptance bar of the multi-tenant front door: when the offered load
+jumps to ten times the calibrated 1x rate, the server must keep its
+admitted tail latency bounded and its goodput at capacity instead of
+letting queue waits balloon for everyone:
+
+* **p99 containment** -- the p99 latency of successful responses under 10x
+  load stays within ``SERVER_P99_FACTOR`` (default 2x) of the 1x p99,
+  because excess load is shed at admission, queued BFS point queries
+  coalesce into shared MS-BFS sweeps, and deadline-threatened CC sweeps
+  are served from the stale view instead of running fresh;
+* **goodput holds** -- successful responses per second under 10x load stay
+  at or above ``SERVER_GOODPUT_FLOOR`` (default 0.75) times the 1x
+  goodput: overload must not collapse throughput below the healthy rate;
+* **shedding is real** -- the 10x run actually rejects work with
+  structured ``Overloaded`` responses (no silent unbounded queueing), and
+  the 1x run serves essentially everything.
+
+The thresholds are env-overridable so the CI overload-smoke job can run
+this file on shared runners at a relaxed bar while the slow benchmarks job
+keeps the full gate.  ``scripts/record_bench.py --only server`` runs the
+same measurement and records the numbers into ``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.server_bench import (
+    SERVER_BENCH_LOAD_FACTORS,
+    run_server_benchmark,
+)
+
+#: Default (full-gate) bound on p99(10x) / p99(1x).
+FULL_GATE_P99_FACTOR = 2.0
+
+#: Default (full-gate) floor on goodput(10x) / goodput(1x).
+FULL_GATE_GOODPUT_FLOOR = 0.75
+
+
+def _p99_factor() -> float:
+    return float(os.environ.get("SERVER_P99_FACTOR", FULL_GATE_P99_FACTOR))
+
+
+def _goodput_floor() -> float:
+    return float(
+        os.environ.get("SERVER_GOODPUT_FLOOR", FULL_GATE_GOODPUT_FLOOR)
+    )
+
+
+def test_overload_degrades_gracefully_not_catastrophically(run_once):
+    p99_factor = _p99_factor()
+    goodput_floor = _goodput_floor()
+    results = run_once(run_server_benchmark)
+
+    assert [r.load_factor for r in results] == list(SERVER_BENCH_LOAD_FACTORS)
+    baseline, overload = results
+
+    # The healthy run is actually healthy: everything served, nothing shed.
+    assert baseline.served_fraction >= 0.95, (
+        f"1x load served only {baseline.served_fraction:.0%} of requests -- "
+        "the baseline itself is overloaded, so the comparison is meaningless"
+    )
+    assert overload.offered_rate >= 9.5 * baseline.offered_rate
+
+    # Admitted tail latency stays contained at 10x offered load.
+    assert overload.p99_seconds <= p99_factor * baseline.p99_seconds, (
+        f"p99 under 10x load is {overload.p99_seconds * 1e3:.0f} ms vs "
+        f"{baseline.p99_seconds * 1e3:.0f} ms at 1x "
+        f"({overload.p99_seconds / baseline.p99_seconds:.2f}x), "
+        f"need <= {p99_factor:.1f}x"
+    )
+
+    # Goodput does not collapse: the server keeps serving at capacity.
+    assert overload.goodput_per_sec >= goodput_floor * baseline.goodput_per_sec, (
+        f"goodput under 10x load is {overload.goodput_per_sec:.1f}/s vs "
+        f"{baseline.goodput_per_sec:.1f}/s at 1x, "
+        f"need >= {goodput_floor:.2f}x"
+    )
+
+    # Degradation is graceful *and real*: the overloaded run sheds excess
+    # load with structured rejections rather than queueing it unboundedly,
+    # and nothing dies with an internal failure.
+    assert overload.shed > 0, "10x offered load shed nothing -- not overloaded?"
+    assert overload.failed == 0 and baseline.failed == 0
+    assert overload.served > 0

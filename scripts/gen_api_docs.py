@@ -44,6 +44,7 @@ PACKAGES = [
     "repro.shard",
     "repro.store",
     "repro.views",
+    "repro.server",
     "repro.bench",
 ]
 

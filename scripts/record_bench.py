@@ -167,10 +167,45 @@ def record_views() -> dict:
     }
 
 
+def record_server() -> dict:
+    """The front-door overload benchmark (see ``repro.bench.server_bench``)."""
+    from repro.bench.server_bench import (
+        SERVER_BENCH_DEADLINE,
+        SERVER_BENCH_QUEUE_CAPACITY,
+        SERVER_BENCH_SCALE,
+        run_server_benchmark,
+    )
+
+    results = run_server_benchmark()
+    baseline, overload = results[0], results[-1]
+    return {
+        "benchmark": "server_overload",
+        "unit": "seconds of successful-response latency; goodput in "
+                "served requests/second",
+        "baseline": "calibrated 1x open-loop load (60% of capacity)",
+        "candidate": "10x offered load through admission control, queue "
+                     "coalescing and degraded view serving",
+        "scale_nodes": SERVER_BENCH_SCALE,
+        "queue_capacity": SERVER_BENCH_QUEUE_CAPACITY,
+        "deadline_seconds": SERVER_BENCH_DEADLINE,
+        "note": "open-loop Poisson arrivals, 85% BFS / 15% CC across an "
+                "interactive and a background tenant; p-quantiles are over "
+                "successful (fresh or degraded) responses only",
+        "results": [r.as_row() for r in results],
+        "p99_overload_factor": round(
+            overload.p99_seconds / baseline.p99_seconds, 2
+        ),
+        "goodput_overload_ratio": round(
+            overload.goodput_per_sec / baseline.goodput_per_sec, 2
+        ),
+    }
+
+
 #: name -> recorder; each returns the JSON document for BENCH_<name>.json.
 BENCHMARKS = {
     "decode": record_decode,
     "msbfs": record_msbfs,
+    "server": record_server,
     "shard": record_shard,
     "store": record_store,
     "views": record_views,
@@ -202,9 +237,13 @@ def check(names: list[str]) -> int:
             print(f"record-bench: {path.name} has no results", file=sys.stderr)
             status = 2
             continue
+        headline = (
+            f"min speedup {document['min_speedup']}x"
+            if "min_speedup" in document
+            else f"p99 overload factor {document.get('p99_overload_factor')}x"
+        )
         print(f"record-bench: {path.name} ok "
-              f"({len(document['results'])} rows, "
-              f"min speedup {document.get('min_speedup')}x)")
+              f"({len(document['results'])} rows, {headline})")
     return status
 
 
@@ -259,6 +298,15 @@ def main() -> int:
                     f"scratch {row['scratch_seconds'] * 1e3:.2f} ms "
                     f"over {row['batches']} {row['stream']} batches"
                 )
+            elif "load_factor" in row:
+                detail = (
+                    f"p99 {row['p99_seconds'] * 1e3:.0f} ms, "
+                    f"{row['goodput_per_sec']}/s goodput, "
+                    f"{row['served']}/{row['offered']} served, "
+                    f"{row['shed']} shed, {row['degraded']} degraded"
+                )
+                print(f"  {row['load_factor']}x load: {detail}")
+                continue
             else:
                 detail = (
                     f"critical path {row['sharded_critical_elapsed']} vs "

@@ -1,0 +1,247 @@
+"""Open-loop overload benchmark for the multi-tenant front door.
+
+The measurement core shared by the gate benchmark
+(``benchmarks/test_server_overload.py``) and the recording script
+(``scripts/record_bench.py --only server``): drive a
+:class:`~repro.server.FrontDoor` with an **open-loop** arrival process --
+request times are drawn up front from a Poisson schedule and submitted on
+that schedule regardless of completions, the way real clients keep sending
+during a brown-out -- and compare a calibrated 1x load against a 10x
+overload of the same mix.
+
+The offered stream mixes two tenants (an interactive priority-0 tenant and
+a background priority-2 tenant) and two query kinds (coalescable BFS point
+queries and connected-components sweeps, the latter degradable to a
+materialized view).  Graceful degradation under overload then has three
+measurable mechanisms, all exercised here:
+
+* the bounded admission queue sheds excess load *early* with structured
+  ``Overloaded`` rejections, so queue wait -- and therefore the latency of
+  everything actually admitted -- stays bounded;
+* queued same-graph BFS requests coalesce into lane-packed MS-BFS groups,
+  so a full queue drains in a handful of shared sweeps instead of one
+  traversal per request;
+* CC requests predicted to miss their deadline are served from the stale
+  view within the staleness budget instead of being dropped.
+
+The headline numbers per load factor: the p50/p95/p99 latency of
+*successful* responses (fresh or degraded), the goodput in served requests
+per second, and the shed/miss counts.  The overload gate asserts the p99
+under 10x stays within a small factor of the 1x p99 and that goodput does
+not collapse -- the server keeps serving at capacity while refusing the
+rest, rather than dragging every request into multi-second queue waits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.graph.generators import web_locality_graph
+from repro.server.frontdoor import FrontDoor
+from repro.service.queries import BFSQuery, CCQuery
+from repro.service.service import TraversalService
+
+#: Node count of the benchmark graph.
+SERVER_BENCH_SCALE = 1500
+
+#: Requests offered per load factor.
+SERVER_BENCH_REQUESTS = 240
+
+#: The load factors measured, in reporting order (1x first: it calibrates
+#: the comparison baseline for the overload row).
+SERVER_BENCH_LOAD_FACTORS: tuple[float, ...] = (1.0, 10.0)
+
+#: Fraction of the service's calibrated capacity offered at load factor 1.
+SERVER_BENCH_UTILIZATION = 0.6
+
+#: Bounded admission queue depth -- the early-shedding knob.
+SERVER_BENCH_QUEUE_CAPACITY = 16
+
+#: Per-request deadline (seconds) -- tight enough that the miss predictor
+#: reroutes queue-delayed CC sweeps to the stale view under overload.
+SERVER_BENCH_DEADLINE = 0.35
+
+#: Staleness budget (epochs) for degraded CC serving.
+SERVER_BENCH_STALENESS = 4
+
+#: Fraction of requests that are BFS point queries (the rest are CC).
+_BFS_FRACTION = 0.85
+
+#: Fraction of requests from the interactive (priority 0) tenant.
+_INTERACTIVE_FRACTION = 0.7
+
+
+@dataclass(frozen=True)
+class ServerOverloadResult:
+    """One load factor's measured admission/latency/goodput outcome."""
+
+    load_factor: float
+    offered: int
+    offered_rate: float
+    duration_seconds: float
+    served: int
+    fresh: int
+    degraded: int
+    shed: int
+    deadline_missed: int
+    failed: int
+    p50_seconds: float
+    p95_seconds: float
+    p99_seconds: float
+
+    @property
+    def goodput_per_sec(self) -> float:
+        """Successful responses (fresh or degraded) per wall-clock second."""
+        return self.served / self.duration_seconds
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered requests that got a successful answer."""
+        return self.served / self.offered if self.offered else 1.0
+
+    def as_row(self) -> dict:
+        """A JSON-ready row (dataclass fields plus the derived rates)."""
+        row = asdict(self)
+        row["goodput_per_sec"] = round(self.goodput_per_sec, 1)
+        row["served_fraction"] = round(self.served_fraction, 3)
+        for key in ("duration_seconds", "p50_seconds", "p95_seconds",
+                    "p99_seconds"):
+            row[key] = round(row[key], 5)
+        row["offered_rate"] = round(row["offered_rate"], 1)
+        return row
+
+
+def _build_door(graph) -> tuple[TraversalService, FrontDoor]:
+    """A service with one graph, a degradable CC view and two tenants."""
+    service = TraversalService()
+    service.register_graph("g", graph)
+    service.register_view("cc-view", "g", kind="cc")
+    door = FrontDoor(
+        service,
+        queue_capacity=SERVER_BENCH_QUEUE_CAPACITY,
+        degraded_staleness=SERVER_BENCH_STALENESS,
+    )
+    door.register_tenant("interactive", priority=0)
+    door.register_tenant("batch", priority=2)
+    return service, door
+
+
+def _request_mix(rng, count: int) -> list[tuple[str, object]]:
+    """A deterministic (tenant, query) stream of the benchmark's mix."""
+    num_nodes = SERVER_BENCH_SCALE
+    mix = []
+    for _ in range(count):
+        tenant = ("interactive" if rng.random() < _INTERACTIVE_FRACTION
+                  else "batch")
+        if rng.random() < _BFS_FRACTION:
+            query = BFSQuery("g", source=int(rng.integers(0, num_nodes)))
+        else:
+            query = CCQuery("g")
+        mix.append((tenant, query))
+    return mix
+
+
+def _calibrate(door: FrontDoor, rng) -> float:
+    """Mean sequential service seconds for the mix (closed loop, no queue)."""
+    samples = []
+    for tenant, query in _request_mix(rng, 24):
+        began = time.perf_counter()
+        response = door.call(tenant, query, timeout=60)
+        assert response.ok, f"calibration query failed: {response}"
+        samples.append(time.perf_counter() - began)
+    return float(np.mean(samples))
+
+
+def measure_load(
+    door: FrontDoor,
+    rate: float,
+    load_factor: float,
+    requests: int,
+    seed: int,
+) -> ServerOverloadResult:
+    """Offer ``requests`` on an open-loop Poisson schedule at ``rate``."""
+    rng = np.random.default_rng(seed)
+    mix = _request_mix(rng, requests)
+    gaps = rng.exponential(1.0 / rate, size=requests)
+    arrivals = np.cumsum(gaps)
+
+    began = time.perf_counter()
+    tickets = []
+    for (tenant, query), offset in zip(mix, arrivals):
+        delay = began + offset - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        tickets.append(
+            door.submit(tenant, query, deadline=SERVER_BENCH_DEADLINE)
+        )
+    responses = [ticket.response(timeout=120) for ticket in tickets]
+    duration = time.perf_counter() - began
+
+    latencies = [r.total_seconds for r in responses if r.ok]
+    fresh = sum(1 for r in responses if r.ok and not r.degraded)
+    degraded = sum(1 for r in responses if r.ok and r.degraded)
+    shed = sum(1 for r in responses if r.status == "rejected")
+    missed = sum(1 for r in responses if r.status == "deadline_exceeded")
+    failed = sum(1 for r in responses if r.status == "failed")
+    quantiles = (
+        np.percentile(latencies, [50, 95, 99]) if latencies else [0.0] * 3
+    )
+    return ServerOverloadResult(
+        load_factor=load_factor,
+        offered=requests,
+        offered_rate=rate,
+        duration_seconds=duration,
+        served=fresh + degraded,
+        fresh=fresh,
+        degraded=degraded,
+        shed=shed,
+        deadline_missed=missed,
+        failed=failed,
+        p50_seconds=float(quantiles[0]),
+        p95_seconds=float(quantiles[1]),
+        p99_seconds=float(quantiles[2]),
+    )
+
+
+def run_server_benchmark(
+    scale: int = SERVER_BENCH_SCALE,
+    requests: int = SERVER_BENCH_REQUESTS,
+    load_factors: tuple[float, ...] = SERVER_BENCH_LOAD_FACTORS,
+) -> list[ServerOverloadResult]:
+    """Measure every load factor on one warm front door, 1x first."""
+    graph = web_locality_graph(scale, avg_degree=8.0, seed=17)
+    service, door = _build_door(graph)
+    try:
+        rng = np.random.default_rng(29)
+        mean_service = _calibrate(door, rng)
+        base_rate = SERVER_BENCH_UTILIZATION / mean_service
+        return [
+            measure_load(
+                door,
+                rate=base_rate * factor,
+                load_factor=factor,
+                requests=requests,
+                seed=100 + index,
+            )
+            for index, factor in enumerate(load_factors)
+        ]
+    finally:
+        door.close()
+        service.close()
+
+
+__all__ = [
+    "SERVER_BENCH_DEADLINE",
+    "SERVER_BENCH_LOAD_FACTORS",
+    "SERVER_BENCH_QUEUE_CAPACITY",
+    "SERVER_BENCH_REQUESTS",
+    "SERVER_BENCH_SCALE",
+    "SERVER_BENCH_STALENESS",
+    "SERVER_BENCH_UTILIZATION",
+    "ServerOverloadResult",
+    "measure_load",
+    "run_server_benchmark",
+]

@@ -1,0 +1,174 @@
+"""Bounded priority admission queues with early shedding and coalescing.
+
+The :class:`AdmissionController` is the only buffer between clients and the
+dispatcher, and it is deliberately small: when offered load exceeds serving
+capacity the queue fills and new work is **rejected immediately** (load
+shedding) instead of queueing unboundedly.  That single decision is what
+keeps the latency of admitted requests flat under overload -- a request
+that gets in waits behind at most ``capacity`` others, so queueing delay is
+bounded by construction, and the excess offered load bounces with a cheap
+structured :class:`~repro.server.errors.Overloaded` response instead of
+timing out after a long blind wait.
+
+Two refinements on the plain bounded queue:
+
+* **Priority classes** -- one FIFO per priority (0 highest).  The
+  dispatcher always drains the highest non-empty class, and when the queue
+  is full a strictly-higher-priority arrival evicts (sheds) the newest
+  lowest-priority entry rather than being turned away, so background
+  tenants cannot starve interactive ones.
+* **Coalescing** -- queued entries carrying the same non-``None``
+  ``coalesce_key`` (same-graph BFS point queries) are dequeued *together*,
+  up to the MS-BFS lane width, so one lane-packed sweep answers the whole
+  group (see :meth:`~repro.service.TraversalService.submit`).  Under
+  overload this is the second survival lever: the deeper the backlog of
+  same-graph point queries, the more of them each decode pass retires.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+
+class AdmissionController:
+    """Bounded priority queues feeding the dispatcher.
+
+    Entries are opaque beyond two attributes: ``priority`` (int, 0
+    highest) chooses the FIFO class, and ``coalesce_key`` (hashable or
+    ``None``) marks batchable work.
+
+    Args:
+        capacity: total queued entries across every priority class.
+        coalesce_width: maximum entries dequeued together per shared key
+            (the MS-BFS lane width, for BFS coalescing).
+    """
+
+    def __init__(self, capacity: int = 64, coalesce_width: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be > 0, got {capacity}")
+        if coalesce_width <= 0:
+            raise ValueError(
+                f"coalesce width must be > 0, got {coalesce_width}"
+            )
+        self.capacity = capacity
+        self.coalesce_width = coalesce_width
+        self._queues: dict[int, list[Any]] = {}
+        self._depth = 0
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side ---------------------------------------------------------
+
+    def offer(self, entry: Any) -> tuple[bool, Any | None]:
+        """Try to enqueue ``entry``; never blocks.
+
+        Returns ``(admitted, evicted)``: ``admitted`` is ``False`` when the
+        controller is full (the caller sheds the entry) or closed;
+        ``evicted`` is a previously queued lower-priority entry displaced
+        to make room (the caller sheds *that* one), else ``None``.
+        """
+        with self._lock:
+            if self._closed:
+                return False, None
+            evicted = None
+            if self._depth >= self.capacity:
+                evicted = self._evict_below(entry.priority)
+                if evicted is None:
+                    return False, None
+            self._queues.setdefault(entry.priority, []).append(entry)
+            self._depth += 1
+            self._ready.notify()
+            return True, evicted
+
+    def _evict_below(self, priority: int) -> Any | None:
+        """Displace the newest entry of the lowest class below ``priority``."""
+        for level in sorted(self._queues, reverse=True):
+            if level <= priority:
+                return None
+            queue = self._queues[level]
+            if queue:
+                self._depth -= 1
+                return queue.pop()
+        return None
+
+    # -- consumer side ---------------------------------------------------------
+
+    def take(self, timeout: float | None = None) -> list[Any]:
+        """Dequeue the next dispatch group, blocking up to ``timeout``.
+
+        Returns the highest-priority oldest entry plus -- when it carries a
+        ``coalesce_key`` -- every queued entry sharing that key (priority
+        order, FIFO within class), up to ``coalesce_width`` entries total.
+        Returns ``[]`` on timeout or once closed and drained.
+        """
+        with self._lock:
+            while self._depth == 0:
+                if self._closed:
+                    return []
+                if not self._ready.wait(timeout=timeout):
+                    return []
+            head = self._pop_head()
+            group = [head]
+            key = getattr(head, "coalesce_key", None)
+            if key is not None:
+                group.extend(self._extract_key(key, self.coalesce_width - 1))
+            return group
+
+    def _pop_head(self) -> Any:
+        """Remove and return the oldest entry of the highest busy class."""
+        for level in sorted(self._queues):
+            queue = self._queues[level]
+            if queue:
+                self._depth -= 1
+                return queue.pop(0)
+        raise RuntimeError("take() called with an empty controller")
+
+    def _extract_key(self, key: Any, limit: int) -> list[Any]:
+        """Remove up to ``limit`` queued entries sharing ``coalesce_key``."""
+        matched: list[Any] = []
+        for level in sorted(self._queues):
+            if len(matched) >= limit:
+                break
+            queue = self._queues[level]
+            kept: list[Any] = []
+            for entry in queue:
+                if (
+                    len(matched) < limit
+                    and getattr(entry, "coalesce_key", None) == key
+                ):
+                    matched.append(entry)
+                    self._depth -= 1
+                else:
+                    kept.append(entry)
+            self._queues[level] = kept
+        return matched
+
+    # -- introspection / lifecycle --------------------------------------------
+
+    def depth(self) -> int:
+        """Entries currently queued across every priority class."""
+        with self._lock:
+            return self._depth
+
+    def close(self) -> None:
+        """Refuse further offers and wake blocked consumers."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def drain(self) -> Iterable[Any]:
+        """Remove and return every queued entry (for shutdown rejection)."""
+        with self._lock:
+            drained = [
+                entry
+                for level in sorted(self._queues)
+                for entry in self._queues[level]
+            ]
+            self._queues.clear()
+            self._depth = 0
+            return drained
+
+
+__all__ = ["AdmissionController"]

@@ -1,0 +1,144 @@
+"""Structured audit log of admissions, rejections and completions.
+
+Every request leaves a paper trail: one :class:`AuditEvent` per lifecycle
+transition (submitted, admitted, rejected, started, and one terminal event
+matching the response status), timestamped on the front door's clock and
+correlated by request id.  The log is a bounded ring -- monitoring wants
+the recent window, not unbounded growth inside the serving process -- with
+an optional ``sink`` callback for tailing events into an external system
+as they happen.
+
+This is the operational counterpart of the SLA counters: the counters say
+*how many* requests a tenant shed, the audit log says *which ones and
+when*, which is what an operator debugging a tenant's overload complaint
+actually needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Lifecycle transitions the front door records.
+AUDIT_EVENTS = (
+    "submitted",
+    "admitted",
+    "rejected",
+    "started",
+    "completed",
+    "degraded",
+    "deadline_miss",
+    "cancelled",
+    "failed",
+)
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One recorded lifecycle transition.
+
+    Attributes:
+        seq: the log's monotone sequence number.
+        timestamp: the front door's clock reading at record time.
+        event: transition kind, one of :data:`AUDIT_EVENTS`.
+        tenant: the request's tenant name.
+        request_id: the front door's request sequence number.
+        detail: event-specific context -- rejection reason, queue depth,
+            latency seconds, degraded staleness and the like.
+    """
+
+    seq: int
+    timestamp: float
+    event: str
+    tenant: str
+    request_id: int
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class AuditLog:
+    """A bounded, thread-safe ring of :class:`AuditEvent` records.
+
+    Args:
+        capacity: events retained; older ones fall off the front.
+        clock: timestamp source (the front door shares its own).
+        sink: optional callback invoked with every event as it is
+            recorded, for tailing into external collectors.  Sink errors
+            propagate to the recording thread -- a broken collector should
+            be loud, not silently detached.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+        sink: Callable[[AuditEvent], None] | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"audit capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self.sink = sink
+        self._events: list[AuditEvent] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        event: str,
+        tenant: str,
+        request_id: int,
+        **detail: Any,
+    ) -> AuditEvent:
+        """Append one transition; returns the recorded event."""
+        if event not in AUDIT_EVENTS:
+            raise ValueError(
+                f"unknown audit event {event!r}; expected one of "
+                f"{AUDIT_EVENTS}"
+            )
+        with self._lock:
+            self._seq += 1
+            entry = AuditEvent(
+                seq=self._seq,
+                timestamp=self.clock(),
+                event=event,
+                tenant=tenant,
+                request_id=request_id,
+                detail=detail,
+            )
+            self._events.append(entry)
+            if len(self._events) > self.capacity:
+                del self._events[: len(self._events) - self.capacity]
+        if self.sink is not None:
+            self.sink(entry)
+        return entry
+
+    def events(
+        self,
+        tenant: str | None = None,
+        event: str | None = None,
+        limit: int | None = None,
+    ) -> list[AuditEvent]:
+        """The retained window, oldest first, optionally filtered.
+
+        ``tenant`` and ``event`` filter exactly; ``limit`` keeps the most
+        recent matches.
+        """
+        with self._lock:
+            matches = [
+                entry
+                for entry in self._events
+                if (tenant is None or entry.tenant == tenant)
+                and (event is None or entry.event == event)
+            ]
+        if limit is not None:
+            matches = matches[-limit:]
+        return matches
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+__all__ = ["AUDIT_EVENTS", "AuditEvent", "AuditLog"]

@@ -1,0 +1,118 @@
+"""Deadlines and cooperative cancellation for in-flight requests.
+
+A :class:`Deadline` is an absolute point on an injectable monotonic clock;
+a :class:`CancelToken` is a thread-safe revocation flag.  The two combine
+into a checkpoint callable (:func:`make_checkpoint`) that the execution
+layers poll at natural pause points -- between queries of a
+:meth:`~repro.service.TraversalService.submit` batch and at every superstep
+of a :class:`~repro.shard.executor.ShardExecutor` traversal -- so an
+expired or revoked request stops consuming decode and exchange budget
+mid-flight instead of running to completion for an answer nobody will read.
+
+Checkpoints raise the taxonomy errors (:class:`~repro.server.errors.
+DeadlineExceeded` / :class:`~repro.server.errors.Cancelled`); the front
+door catches them and completes the request with the matching structured
+response (or a degraded stale-view answer, see
+:class:`~repro.server.FrontDoor`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.server.errors import Cancelled, DeadlineExceeded
+
+#: A cooperative-cancellation probe: raises a taxonomy error when its
+#: request should stop, returns ``None`` otherwise.
+Checkpoint = Callable[[], None]
+
+
+class Deadline:
+    """An absolute completion deadline on a monotonic clock.
+
+    Args:
+        expires_at: absolute clock reading after which the deadline is
+            expired, or ``None`` for no deadline.
+        clock: the monotonic clock the deadline reads (injectable so tests
+            and simulations control time).
+    """
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(
+        self,
+        expires_at: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self.clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock`` (``None`` = none)."""
+        if seconds is None:
+            return cls(None, clock)
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {seconds}")
+        return cls(clock() + seconds, clock)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed (never, without an expiry)."""
+        return self.expires_at is not None and self.clock() >= self.expires_at
+
+    def remaining(self) -> float | None:
+        """Seconds until expiry (clamped at 0), or ``None`` for no deadline."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - self.clock())
+
+
+class CancelToken:
+    """A thread-safe revocation flag shared by a ticket and its executor."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Set the flag; checkpoints observing it raise :class:`Cancelled`."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the token has been revoked."""
+        return self._event.is_set()
+
+
+def make_checkpoint(
+    deadline: Deadline,
+    token: CancelToken | None = None,
+    label: str = "request",
+) -> Checkpoint:
+    """A checkpoint raising when ``deadline`` expires or ``token`` cancels.
+
+    Cancellation wins over expiry when both hold (the client's explicit
+    signal is the stronger statement).  ``label`` names the request in the
+    raised messages.
+    """
+
+    def checkpoint() -> None:
+        if token is not None and token.cancelled:
+            raise Cancelled(f"{label} was cancelled mid-flight")
+        if deadline.expired:
+            raise DeadlineExceeded(
+                f"{label} exceeded its deadline mid-flight"
+            )
+
+    return checkpoint
+
+
+__all__ = ["Checkpoint", "Deadline", "CancelToken", "make_checkpoint"]

@@ -1,0 +1,222 @@
+"""Tenant registration: token-bucket rate limits, quotas, priorities.
+
+A tenant is the front door's unit of isolation: every request names one,
+and the tenant's :class:`TenantConfig` decides how the request is admitted
+-- how fast it may arrive (:class:`TokenBucket`), how much lifetime budget
+it has (quota), which admission queue it joins (priority) and how long it
+may run (default deadline).  One hostile or runaway tenant exhausts *its
+own* bucket and quota; everyone else's admission math is untouched, which
+is the multi-tenant survival property the front door exists for.
+
+All time is read from an injectable monotonic clock so tests drive
+admission deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.server.sla import LatencyReservoir, TenantCounters
+
+
+class TokenBucket:
+    """The classic token-bucket rate limiter on an injectable clock.
+
+    Tokens refill continuously at ``rate`` per second up to ``capacity``
+    (the burst size).  Each admission takes one token;
+    :meth:`try_acquire` never blocks, and :meth:`retry_after` converts a
+    refusal into a backoff hint.
+
+    Args:
+        rate: refill rate in tokens per second (``None`` = unlimited).
+        capacity: maximum banked tokens (defaults to ``max(1, rate)``).
+        clock: monotonic clock to read.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        capacity: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/second, got {rate}")
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be > 0 tokens, got {capacity}")
+        self.rate = rate
+        self.capacity = (
+            capacity if capacity is not None
+            else (max(1.0, rate) if rate is not None else float("inf"))
+        )
+        self.clock = clock
+        self._tokens = self.capacity
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        """Bank the tokens accrued since the last refill."""
+        now = self.clock()
+        if self.rate is not None:
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now - self._refilled_at) * self.rate,
+            )
+        self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        """Currently banked tokens (refilled to now)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if banked; never blocks.
+
+        Unlimited buckets (``rate=None``) always admit.
+        """
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be banked (0.0 when already there)."""
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Immutable admission policy for one tenant.
+
+    Attributes:
+        name: the tenant identifier requests carry.
+        rate: sustained admission rate in requests/second (``None`` =
+            unlimited).
+        burst: token-bucket capacity -- requests admissible back-to-back
+            after an idle period (defaults to ``max(1, rate)``).
+        priority: admission-queue class, 0 highest; lower-priority work is
+            dispatched only when no higher class is waiting, and is first
+            to shed when the bounded queue fills from above.
+        quota: lifetime admission budget in requests (``None`` =
+            unlimited); exhaustion is a non-retryable rejection.
+        default_deadline: per-request deadline in seconds applied when a
+            request does not carry its own (``None`` = no deadline).
+    """
+
+    name: str
+    rate: float | None = None
+    burst: float | None = None
+    priority: int = 1
+    quota: int | None = None
+    default_deadline: float | None = None
+
+
+class TenantState:
+    """One registered tenant's live admission state.
+
+    Bundles the immutable :class:`TenantConfig` with the mutable pieces:
+    the token bucket, the quota burn-down, the outcome ledger and the
+    latency reservoir feeding the tenant's SLA snapshot.
+    """
+
+    def __init__(
+        self,
+        config: TenantConfig,
+        clock: Callable[[], float] = time.monotonic,
+        reservoir_capacity: int = 1024,
+    ) -> None:
+        self.config = config
+        self.bucket = TokenBucket(config.rate, config.burst, clock)
+        self.counters = TenantCounters()
+        self.reservoir = LatencyReservoir(reservoir_capacity)
+
+    @property
+    def name(self) -> str:
+        """The tenant's registered name."""
+        return self.config.name
+
+    @property
+    def quota_remaining(self) -> int | None:
+        """Unused lifetime admissions (``None`` for unlimited quotas)."""
+        if self.config.quota is None:
+            return None
+        return max(0, self.config.quota - self.counters.quota_used)
+
+    def charge_quota(self) -> bool:
+        """Consume one quota unit; ``False`` when the budget is spent."""
+        if self.config.quota is not None:
+            if self.counters.quota_used >= self.config.quota:
+                return False
+        self.counters.quota_used += 1
+        return True
+
+
+class TenantRegistry:
+    """The front door's tenant directory.
+
+    Args:
+        clock: monotonic clock shared with the tenants' token buckets.
+        reservoir_capacity: per-tenant latency-reservoir size.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        reservoir_capacity: int = 1024,
+    ) -> None:
+        self.clock = clock
+        self.reservoir_capacity = reservoir_capacity
+        self._tenants: dict[str, TenantState] = {}
+
+    def register(self, config: TenantConfig) -> TenantState:
+        """Register one tenant; duplicate names raise :class:`ValueError`."""
+        if config.name in self._tenants:
+            raise ValueError(f"tenant {config.name!r} is already registered")
+        if config.priority < 0:
+            raise ValueError(
+                f"priority must be >= 0, got {config.priority}"
+            )
+        if config.quota is not None and config.quota < 0:
+            raise ValueError(f"quota must be >= 0, got {config.quota}")
+        state = TenantState(
+            config, clock=self.clock,
+            reservoir_capacity=self.reservoir_capacity,
+        )
+        self._tenants[config.name] = state
+        return state
+
+    def get(self, name: str) -> TenantState | None:
+        """The tenant's state, or ``None`` when unregistered."""
+        return self._tenants.get(name)
+
+    def names(self) -> list[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def states(self) -> list[TenantState]:
+        """Every tenant's state, in registration order."""
+        return list(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+
+__all__ = [
+    "TokenBucket",
+    "TenantConfig",
+    "TenantState",
+    "TenantRegistry",
+]

@@ -101,6 +101,12 @@ class RegisteredGraph:
     undirected: "RegisteredGraph | None" = field(default=None, repr=False)
     #: Lazily (re)built CSR; dropped whenever an update batch lands.
     _csr: CSRGraph | None = field(default=None, repr=False)
+    #: The graph exactly as first registered, before any update batch --
+    #: what duplicate-name registration offers are compared against, so an
+    #: idempotent re-register of the original snapshot stays a no-op even
+    #: after updates have moved ``graph`` on (``None`` only on entries
+    #: built by internal paths that never face registration offers).
+    registered_graph: Graph | None = field(default=None, repr=False)
 
     @property
     def csr(self) -> CSRGraph:
@@ -243,11 +249,17 @@ class GraphRegistry:
     ) -> RegisteredGraph:
         """Make ``graph`` resident under ``name``; a no-op when already there.
 
-        Re-registering the same ``(name, config)`` returns the existing entry
-        without re-encoding, even if a different :class:`Graph` instance is
-        passed -- the registry is the source of truth for resident graphs
-        (use :meth:`replace` to swap a resident graph for new data).  The
-        sharding spec is likewise fixed at first registration.
+        Re-registering the same ``(name, config)`` with the **same
+        topology** returns the existing entry without re-encoding, even
+        from a different :class:`Graph` instance -- the registry is the
+        source of truth for resident graphs.  Offering a *different*
+        topology under an already-registered name raises
+        :class:`ValueError` **before any entry, cache or executor state is
+        created**, whatever the configuration: same-name entries must
+        never serve divergent graphs, and silently returning the resident
+        entry would hide the caller's data loss (use :meth:`replace` to
+        swap a resident graph for new data).  The sharding spec is
+        likewise fixed at first registration.
 
         With ``shards`` set (> 1, or 1 to force the sharded code path), the
         graph is split by ``partitioner`` (a :class:`~repro.shard.partition.
@@ -260,14 +272,45 @@ class GraphRegistry:
         config = config or self.default_config
         key = (name, config)
         entry = self._entries.get(key)
-        if entry is None:
-            entry = self._encode(
-                name, graph, config,
-                shards=shards, partitioner=partitioner,
-                executor_backend=executor_backend,
-            )
-            self._entries[key] = entry
+        if entry is not None:
+            self._reject_divergent(name, entry, graph)
+            return entry
+        # A new configuration under an existing name must agree on the
+        # topology too -- checked against the first-registered sibling
+        # before _encode, so a rejected registration leaves no state.
+        for (existing_name, _), existing in self._entries.items():
+            if existing_name == name:
+                self._reject_divergent(name, existing, graph)
+                break
+        entry = self._encode(
+            name, graph, config,
+            shards=shards, partitioner=partitioner,
+            executor_backend=executor_backend,
+        )
+        entry.registered_graph = graph
+        self._entries[key] = entry
         return entry
+
+    @staticmethod
+    def _reject_divergent(
+        name: str, entry: RegisteredGraph, graph: Graph
+    ) -> None:
+        """Raise :class:`ValueError` when ``graph`` matches neither the
+        originally registered topology of ``name`` nor its current live
+        topology -- so idempotent re-registration of the original snapshot
+        stays a no-op even after update batches have moved the entry on."""
+        original = entry.registered_graph
+        if original is not None and (graph is original or graph == original):
+            return
+        if graph is entry.graph or graph == entry.graph:
+            return
+        raise ValueError(
+            f"graph name {name!r} is already registered with a different "
+            f"topology ({entry.graph.num_nodes} nodes / "
+            f"{entry.graph.num_edges} edges resident vs {graph.num_nodes} "
+            f"nodes / {graph.num_edges} edges offered); use replace() to "
+            "swap the resident graph or register under a new name"
+        )
 
     def replace(
         self,
@@ -318,6 +361,7 @@ class GraphRegistry:
                 shards=shards, partitioner=partitioner,
                 executor_backend=executor_backend,
             )
+            replacement.registered_graph = graph
             if previous is not None and previous.executor is not None:
                 self._carry_cache_counters(previous, replacement)
             self._entries[key] = replacement

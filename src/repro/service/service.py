@@ -16,8 +16,9 @@ is what the differential and cache-behaviour test suites assert on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.apps.bc import betweenness_centrality
 from repro.apps.bfs import bfs
@@ -140,6 +141,11 @@ class TraversalService:
         #: registry's delta stream (see :mod:`repro.views`).
         self.views = ViewManager(self.registry)
         self.queries_served = 0
+        # Serializes serving against updates/registration so concurrent
+        # callers (e.g. front-door dispatchers vs a writer thread) each see
+        # one consistent overlay epoch per query.  Reentrant: view
+        # maintenance runs inside update application.
+        self._lock = threading.RLock()
 
     # -- graph management -----------------------------------------------------
 
@@ -166,11 +172,12 @@ class TraversalService:
         addition-order ulps); per-query metrics gain the shard fan-out and
         exchange volume.
         """
-        return self.registry.register(
-            name, graph, config,
-            shards=shards, partitioner=partitioner,
-            executor_backend=executor_backend,
-        )
+        with self._lock:
+            return self.registry.register(
+                name, graph, config,
+                shards=shards, partitioner=partitioner,
+                executor_backend=executor_backend,
+            )
 
     def apply_updates(self, name: str, updates) -> UpdateStats:
         """Absorb an edge-update batch into the graph registered as ``name``.
@@ -182,7 +189,8 @@ class TraversalService:
         re-registering the mutated graph from scratch, at a fraction of the
         ingest cost.  Returns what the batch actually changed.
         """
-        return self.registry.apply_updates(name, updates)
+        with self._lock:
+            return self.registry.apply_updates(name, updates)
 
     def replace_graph(
         self,
@@ -198,9 +206,10 @@ class TraversalService:
         of ``name`` are rebuilt from the new topology (there is no delta
         stream to repair them from).
         """
-        entry = self.registry.replace(name, graph, config)
-        self.views.invalidate_graph(name)
-        return entry
+        with self._lock:
+            entry = self.registry.replace(name, graph, config)
+            self.views.invalidate_graph(name)
+            return entry
 
     # -- materialized views ----------------------------------------------------
 
@@ -225,20 +234,23 @@ class TraversalService:
         for k-hop levels (see :mod:`repro.views`).  Returns the freshly
         built first result.
         """
-        return self.views.register_view(
-            name, graph, kind, params=params, refresh=refresh
-        )
+        with self._lock:
+            return self.views.register_view(
+                name, graph, kind, params=params, refresh=refresh
+            )
 
     def view_result(self, name: str) -> ViewResult:
         """The view's current answer, epoch-tagged (see
         :meth:`~repro.views.ViewManager.view_result`); lazy views repair
         first unless within their staleness bound."""
-        return self.views.view_result(name)
+        with self._lock:
+            return self.views.view_result(name)
 
     def refresh_view(self, name: str, full: bool = False) -> ViewResult:
         """Force a view's maintenance now; ``full=True`` rebuilds from the
         live topology (resetting approximate-mode residual error)."""
-        return self.views.refresh_view(name, full=full)
+        with self._lock:
+            return self.views.refresh_view(name, full=full)
 
     def drop_view(self, name: str) -> None:
         """Stop maintaining a view and forget its materialized state."""
@@ -265,7 +277,8 @@ class TraversalService:
         with bit-identical answers and simulated costs, without re-encoding
         anything.  See :mod:`repro.store` and ``docs/FORMAT.md``.
         """
-        return self.registry.snapshot(name, directory, config)
+        with self._lock:
+            return self.registry.snapshot(name, directory, config)
 
     def load_graph(
         self,
@@ -280,11 +293,18 @@ class TraversalService:
         cold-start cost is file I/O plus a bulk word wrap, gated >=10x
         cheaper than re-encoding by ``benchmarks/test_store_throughput.py``.
         """
-        return self.registry.restore(location, executor_backend=executor_backend)
+        with self._lock:
+            return self.registry.restore(
+                location, executor_backend=executor_backend
+            )
 
     # -- serving --------------------------------------------------------------
 
-    def submit(self, queries: Sequence[Query]) -> list[QueryResult]:
+    def submit(
+        self,
+        queries: Sequence[Query],
+        checkpoint: Callable[[], None] | None = None,
+    ) -> list[QueryResult]:
         """Answer a batch of mixed queries, one result per query, in order.
 
         Every query is **admitted** first -- its graph resolved
@@ -306,7 +326,31 @@ class TraversalService:
         :attr:`~repro.service.queries.QueryMetrics.batch_lanes`).  All
         other queries run on their own traversal session over the shared
         resident graph, exactly as before.
+
+        ``checkpoint``, when given, is a zero-argument callable polled
+        **between queries** (and between the lane-packed sweeps of a wide
+        BFS group) and, for sharded entries, **between supersteps** inside
+        the executor (see :attr:`~repro.shard.ShardExecutor.checkpoint`).
+        Raising from it (e.g. :class:`~repro.server.DeadlineExceeded`)
+        aborts the rest of the batch at the next poll point -- the
+        cooperative-cancellation hook the front door's deadlines ride on.
+        Unsharded engines poll only between queries, so a single unsharded
+        query runs to completion once started.
+
+        ``submit`` is thread-safe: the service serializes serving against
+        :meth:`apply_updates`/registration, so every query reads one
+        consistent overlay epoch (recorded in its metrics) even with
+        concurrent writers.
         """
+        with self._lock:
+            return self._submit_locked(list(queries), checkpoint)
+
+    def _submit_locked(
+        self,
+        queries: list[Query],
+        checkpoint: Callable[[], None] | None,
+    ) -> list[QueryResult]:
+        """The body of :meth:`submit`, under the service lock."""
         entries = [self._admit(query) for query in queries]
 
         # Same-entry BFS queries share lane-packed sweeps; everything else
@@ -326,12 +370,16 @@ class TraversalService:
         for index, (query, entry) in enumerate(zip(queries, entries)):
             if results[index] is not None:
                 continue
+            if checkpoint is not None:
+                checkpoint()
             indices = grouped_indices.get(index)
             if indices is None:
-                results[index] = self._serve(query, entry)
+                results[index] = self._serve(query, entry, checkpoint)
             else:
                 group = self._serve_bfs_group(
-                    [queries[position] for position in indices], entry
+                    [queries[position] for position in indices],
+                    entry,
+                    checkpoint,
                 )
                 for position, result in zip(indices, group):
                     results[position] = result
@@ -357,26 +405,37 @@ class TraversalService:
         return entry
 
     def _serve_bfs_group(
-        self, queries: list[BFSQuery], entry: RegisteredGraph
+        self,
+        queries: list[BFSQuery],
+        entry: RegisteredGraph,
+        checkpoint: Callable[[], None] | None = None,
     ) -> list[QueryResult]:
         """Serve same-entry BFS queries through lane-packed MS-BFS sweeps.
 
         Queries are packed :data:`~repro.traversal.msbfs.LANE_WIDTH` at a
         time, in submission order; wider groups spill into consecutive
-        sweeps.  Each sweep runs either on a fresh traversal session of the
-        entry's engine (so its simulated cost is the sweep's alone) or,
-        for sharded entries, through the executor's superstep-native
+        sweeps (``checkpoint`` polled between them).  Each sweep runs
+        either on a fresh traversal session of the entry's engine (so its
+        simulated cost is the sweep's alone) or, for sharded entries,
+        through the executor's superstep-native
         :meth:`~repro.shard.executor.ShardExecutor.msbfs`.
         """
         results: list[QueryResult] = []
         for start in range(0, len(queries), LANE_WIDTH):
+            if checkpoint is not None and start > 0:
+                checkpoint()
             results.extend(
-                self._serve_bfs_sweep(queries[start:start + LANE_WIDTH], entry)
+                self._serve_bfs_sweep(
+                    queries[start:start + LANE_WIDTH], entry, checkpoint
+                )
             )
         return results
 
     def _serve_bfs_sweep(
-        self, queries: list[BFSQuery], entry: RegisteredGraph
+        self,
+        queries: list[BFSQuery],
+        entry: RegisteredGraph,
+        checkpoint: Callable[[], None] | None = None,
     ) -> list[QueryResult]:
         """One lane-packed sweep: run it, attribute shared work by lane.
 
@@ -396,7 +455,11 @@ class TraversalService:
         executor = entry.executor
         if executor is not None:
             shard_before = executor.counters()
-            sweep = executor.msbfs(sources)
+            executor.checkpoint = checkpoint
+            try:
+                sweep = executor.msbfs(sources)
+            finally:
+                executor.checkpoint = None
             shard_after = executor.counters()
             cost = shard_after.cost - shard_before.cost
             elapsed = shard_after.elapsed_proxy - shard_before.elapsed_proxy
@@ -462,7 +525,10 @@ class TraversalService:
         return results
 
     def _serve(
-        self, query: Query, entry: RegisteredGraph | None = None
+        self,
+        query: Query,
+        entry: RegisteredGraph | None = None,
+        checkpoint: Callable[[], None] | None = None,
     ) -> QueryResult:
         if entry is None:
             entry = self.registry.resolve(query.graph)
@@ -477,38 +543,48 @@ class TraversalService:
             # engine; cost and exchange counters are attributed by delta.
             engine = executor
             shard_before = executor.counters()
+            executor.checkpoint = checkpoint
         else:
             engine = entry.engine.new_session()
             shard_before = None
 
-        if isinstance(query, BFSQuery):
-            if executor is not None:
-                # Superstep-native sharded BFS: shard-side admission, node-id
-                # frontier exchange; bit-identical to bfs() on an engine.
-                value = executor.bfs(query.source)
+        try:
+            if isinstance(query, BFSQuery):
+                if executor is not None:
+                    # Superstep-native sharded BFS: shard-side admission,
+                    # node-id frontier exchange; bit-identical to bfs() on
+                    # an engine.
+                    value = executor.bfs(query.source)
+                else:
+                    value = bfs(engine, query.source)
+                kind, iterations = "bfs", value.iterations
+            elif isinstance(query, CCQuery):
+                kind, value = "cc", connected_components(
+                    engine, max_iterations=query.max_iterations
+                )
+                iterations = value.iterations
+            elif isinstance(query, BCQuery):
+                kind, value = "bc", betweenness_centrality(
+                    engine, query.source
+                )
+                iterations = value.iterations
+            elif isinstance(query, PageRankQuery):
+                kind, value = "pagerank", personalized_pagerank(
+                    engine,
+                    query.source,
+                    alpha=query.alpha,
+                    epsilon=query.epsilon,
+                    degrees=entry.graph.degrees(),
+                    max_iterations=query.max_iterations,
+                )
+                iterations = value.iterations
             else:
-                value = bfs(engine, query.source)
-            kind, iterations = "bfs", value.iterations
-        elif isinstance(query, CCQuery):
-            kind, value = "cc", connected_components(
-                engine, max_iterations=query.max_iterations
-            )
-            iterations = value.iterations
-        elif isinstance(query, BCQuery):
-            kind, value = "bc", betweenness_centrality(engine, query.source)
-            iterations = value.iterations
-        elif isinstance(query, PageRankQuery):
-            kind, value = "pagerank", personalized_pagerank(
-                engine,
-                query.source,
-                alpha=query.alpha,
-                epsilon=query.epsilon,
-                degrees=entry.graph.degrees(),
-                max_iterations=query.max_iterations,
-            )
-            iterations = value.iterations
-        else:
-            raise TypeError(f"unsupported query type {type(query).__name__}")
+                raise TypeError(
+                    f"unsupported query type {type(query).__name__}"
+                )
+        finally:
+            if executor is not None:
+                executor.checkpoint = None
 
         if shard_before is not None:
             shard_after = executor.counters()
@@ -568,6 +644,11 @@ class TraversalService:
 
     def stats(self) -> ServiceStats:
         """Aggregate registry + cache + update statistics for monitoring."""
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> ServiceStats:
+        """The body of :meth:`stats`, under the service lock."""
         entries = self.registry.entries()
         caches = [cache for e in entries for cache in e.all_plan_caches()]
         overlays = [overlay for e in entries for overlay in e.all_overlays()]

@@ -38,7 +38,12 @@ shards, ``apply_updates`` routes each edge to its owner shard's delta
 overlay, and per-query metrics report the shard fan-out and exchange volume.
 """
 
-from repro.shard.executor import BACKENDS, ShardCounters, ShardExecutor
+from repro.shard.executor import (
+    BACKENDS,
+    ShardCounters,
+    ShardExecutor,
+    ShardWorkerError,
+)
 from repro.shard.partition import (
     BoundaryEdge,
     GraphPartition,
@@ -62,6 +67,7 @@ __all__ = [
     "RangePartitioner",
     "ShardCounters",
     "ShardExecutor",
+    "ShardWorkerError",
     "ShardedCGRGraph",
     "get_partitioner",
 ]

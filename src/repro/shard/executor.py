@@ -49,8 +49,11 @@ dynamic path.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -73,6 +76,21 @@ from repro.traversal.msbfs import (
 
 #: Supported execution backends.
 BACKENDS = ("inline", "thread", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard's worker process died mid-operation (process backend).
+
+    Raised instead of the opaque :class:`~concurrent.futures.process.
+    BrokenProcessPool` wherever the executor resolves worker futures, so a
+    crashed worker (OOM-killed, segfaulted, interpreter torn down) fails the
+    in-flight superstep **fast and loud** with the shard named, rather than
+    hanging the coordinator or surfacing as an unrelated pool error several
+    calls later.  The executor cannot continue after this -- its worker held
+    the shard's only resident engine state -- so the owning registration
+    must be rebuilt (re-register or restore the graph).
+    """
+
 
 
 @dataclass(frozen=True)
@@ -444,6 +462,16 @@ class ShardExecutor:
         #: wall-clock scaling additionally depends on the host's core count.
         self.critical_cost = 0.0
         self.kernel_metrics = KernelMetrics()
+        #: Cooperative cancellation hook: when set, polled once per
+        #: superstep (every backend) at the top of each
+        #: :meth:`expand`/:meth:`bfs`/:meth:`msbfs` iteration and before
+        #: :meth:`gather_adjacency` scatters.  Raising from it (e.g. a
+        #: deadline or cancel probe, see :mod:`repro.server.deadline`)
+        #: aborts the traversal between supersteps -- no partial superstep,
+        #: no torn shard state; counters reflect exactly the supersteps
+        #: that ran.  Installed per query by
+        #: :meth:`~repro.service.TraversalService.submit`.
+        self.checkpoint: Callable[[], None] | None = None
 
         self.engines: list[GCGTEngine] = []
         self.overlays: list[DeltaOverlay] = []
@@ -473,8 +501,10 @@ class ShardExecutor:
                 self._process_pools.append(pool)
             # Force worker start-up now so construction cost never leaks
             # into superstep timings and init errors surface eagerly.
-            for pool in self._process_pools:
-                if not pool.submit(_process_worker_ping).result():
+            for shard, pool in enumerate(self._process_pools):
+                if not self._resolve(
+                    shard, pool.submit(_process_worker_ping)
+                ):
                     raise RuntimeError("shard worker failed to initialise")
         else:
             policy = compaction_policy or CompactionPolicy()
@@ -543,7 +573,10 @@ class ShardExecutor:
             pool.submit(_process_worker_live_bits)
             for pool in self._process_pools
         ]
-        self._final_live_bits = sum(future.result() for future in futures)
+        self._final_live_bits = sum(
+            self._resolve(shard, future)
+            for shard, future in enumerate(futures)
+        )
 
     @property
     def bits_per_edge(self) -> float:
@@ -559,6 +592,34 @@ class ShardExecutor:
             return float("nan")
         return UNCOMPRESSED_BITS_PER_EDGE / self.bits_per_edge
 
+    # -- worker-failure and cancellation plumbing ------------------------------
+
+    def _resolve(self, shard: int, future):
+        """Resolve one worker future, failing fast on a dead worker.
+
+        A :class:`~concurrent.futures.process.BrokenProcessPool` means the
+        shard's worker process is gone along with its resident engine;
+        re-raise it as :class:`ShardWorkerError` naming the shard so the
+        caller sees an actionable diagnosis instead of a generic pool
+        error (or, worse, a coordinator wedged on a pool that will never
+        answer again).
+        """
+        try:
+            return future.result()
+        except BrokenProcessPool as error:
+            raise ShardWorkerError(
+                f"shard {shard} worker process died mid-operation "
+                f"({error}); the shard's resident state is lost -- "
+                "re-register or restore the graph to rebuild it"
+            ) from error
+
+    def _poll_checkpoint(self) -> None:
+        """Run the installed cancellation checkpoint, if any (see
+        :attr:`checkpoint`)."""
+        checkpoint = self.checkpoint
+        if checkpoint is not None:
+            checkpoint()
+
     # -- supersteps ------------------------------------------------------------
 
     def expand(self, frontier, filter_fn) -> list[int]:
@@ -572,6 +633,7 @@ class ShardExecutor:
         """
         if self._closed:
             raise RuntimeError("executor is closed")
+        self._poll_checkpoint()
         frontier = list(frontier)
         if not frontier:
             return []
@@ -624,7 +686,10 @@ class ShardExecutor:
                 )
                 for shard, nodes in groups.items()
             }
-        return {shard: future.result() for shard, future in futures.items()}
+        return {
+            shard: self._resolve(shard, future)
+            for shard, future in futures.items()
+        }
 
     # -- superstep-native BFS --------------------------------------------------
 
@@ -655,6 +720,7 @@ class ShardExecutor:
         level = 0
         iterations = 0
         while candidates:
+            self._poll_checkpoint()
             self.supersteps += 1
             for shard, nodes in candidates.items():
                 self.shard_touches[shard] += 1
@@ -695,8 +761,8 @@ class ShardExecutor:
                 pool.submit(_process_worker_bfs_reset)
                 for pool in self._process_pools
             ]
-            for future in futures:
-                future.result()
+            for shard, future in enumerate(futures):
+                self._resolve(shard, future)
         else:
             self._bfs_levels = [
                 np.full(self.num_nodes, UNREACHED, dtype=np.int64)
@@ -733,7 +799,10 @@ class ShardExecutor:
                 )
                 for shard, nodes in candidates.items()
             }
-        return {shard: future.result() for shard, future in futures.items()}
+        return {
+            shard: self._resolve(shard, future)
+            for shard, future in futures.items()
+        }
 
     def _bfs_collect_levels(self) -> np.ndarray:
         """Merge per-shard level arrays, each authoritative for its owned nodes."""
@@ -743,7 +812,10 @@ class ShardExecutor:
                 pool.submit(_process_worker_bfs_levels)
                 for pool in self._process_pools
             ]
-            shard_levels = [future.result() for future in futures]
+            shard_levels = [
+                self._resolve(shard, future)
+                for shard, future in enumerate(futures)
+            ]
         else:
             shard_levels = self._bfs_levels
         for shard, owned in enumerate(self.partition.shard_nodes):
@@ -799,6 +871,7 @@ class ShardExecutor:
         depth = 0
         sweeps = 0
         while candidates:
+            self._poll_checkpoint()
             self.supersteps += 1
             for shard, (shard_nodes, _) in candidates.items():
                 self.shard_touches[shard] += 1
@@ -857,8 +930,8 @@ class ShardExecutor:
                 pool.submit(_process_worker_msbfs_reset, lanes)
                 for pool in self._process_pools
             ]
-            for future in futures:
-                future.result()
+            for shard, future in enumerate(futures):
+                self._resolve(shard, future)
         else:
             self._msbfs_seen = [
                 np.zeros(self.num_nodes, dtype=np.uint64)
@@ -908,7 +981,10 @@ class ShardExecutor:
                 )
                 for shard, (nodes, masks) in candidates.items()
             }
-        return {shard: future.result() for shard, future in futures.items()}
+        return {
+            shard: self._resolve(shard, future)
+            for shard, future in futures.items()
+        }
 
     def _msbfs_collect_levels(self, lanes: int) -> np.ndarray:
         """Merge per-shard lane-level matrices over their owned node columns."""
@@ -920,7 +996,10 @@ class ShardExecutor:
                 pool.submit(_process_worker_msbfs_levels)
                 for pool in self._process_pools
             ]
-            shard_levels = [future.result() for future in futures]
+            shard_levels = [
+                self._resolve(shard, future)
+                for shard, future in enumerate(futures)
+            ]
         else:
             shard_levels = self._msbfs_levels
         for shard, owned in enumerate(self.partition.shard_nodes):
@@ -1005,7 +1084,7 @@ class ShardExecutor:
                 for shard, sub_batch in sub_batches.items()
             }
             for shard, future in futures.items():
-                total.merge(future.result())
+                total.merge(self._resolve(shard, future))
             self._refresh_live_bits()
         else:
             for shard, sub_batch in sub_batches.items():
@@ -1035,6 +1114,7 @@ class ShardExecutor:
         """
         if self._closed:
             raise RuntimeError("executor is closed")
+        self._poll_checkpoint()
         node_list = [int(node) for node in nodes]
         if not node_list:
             return {}
@@ -1073,9 +1153,12 @@ class ShardExecutor:
                 node_list = [int(n) for n in nodes]
                 if not node_list:
                     continue
-                collected, _ = self._process_pools[shard].submit(
-                    _process_worker_expand, node_list
-                ).result()
+                collected, _ = self._resolve(
+                    shard,
+                    self._process_pools[shard].submit(
+                        _process_worker_expand, node_list
+                    ),
+                )
                 for node in node_list:
                     merged[node] = collected[node]
             return merged
@@ -1087,11 +1170,17 @@ class ShardExecutor:
 
     # -- lifecycle -------------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, timeout: float | None = None) -> None:
         """Shut worker pools down; the executor cannot expand afterwards.
 
         Size/compression introspection stays available: the process backend
         snapshots its workers' live-bit count before the pools go away.
+
+        ``timeout`` bounds the shutdown, in seconds shared across every
+        worker: process workers still alive when their slice of the budget
+        runs out are terminated instead of joined, so a wedged or
+        already-dead worker cannot hang the owning service's shutdown
+        (``None`` preserves the unbounded graceful join).
         """
         if self._closed:
             return
@@ -1103,8 +1192,23 @@ class ShardExecutor:
         self._closed = True
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True)
+        if timeout is None:
+            for pool in self._process_pools:
+                pool.shutdown(wait=True)
+            return
+        deadline = time.monotonic() + timeout
+        workers = []
         for pool in self._process_pools:
-            pool.shutdown(wait=True)
+            # The pool API has no timed join, so grab the worker processes
+            # (private attribute, but the stdlib keeps it stable) before
+            # shutdown clears them, then join each against the budget.
+            workers.extend((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False)
+        for worker in workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.is_alive():  # pragma: no cover - wedged worker
+                worker.terminate()
+                worker.join(timeout=1.0)
 
     def __enter__(self) -> "ShardExecutor":
         return self
@@ -1119,4 +1223,4 @@ class ShardExecutor:
         )
 
 
-__all__ = ["BACKENDS", "ShardCounters", "ShardExecutor"]
+__all__ = ["BACKENDS", "ShardCounters", "ShardExecutor", "ShardWorkerError"]

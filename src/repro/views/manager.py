@@ -184,6 +184,49 @@ class ViewManager:
         registration.view.stats.refreshes += 1
         return self._result(registration)
 
+    def peek(self, name: str) -> ViewResult:
+        """The view's current answer **without** any repair or drain.
+
+        Unlike :meth:`view_result`, queued deltas stay queued and no
+        maintenance work runs -- the caller gets whatever the view holds
+        right now, tagged with its true epoch and staleness.  This is the
+        degraded-serving read of the front door
+        (:class:`~repro.server.FrontDoor`): when fresh computation would
+        miss a deadline, a possibly-stale answer served in constant time
+        beats no answer at all, and the staleness tag lets the caller
+        enforce its own budget.
+        """
+        return self._result(self._require(name))
+
+    def find(
+        self,
+        graph: str,
+        kind: str,
+        match: Mapping[str, Any] | None = None,
+    ) -> str | None:
+        """The name of a registered view matching ``graph``/``kind``/params.
+
+        ``match`` entries are compared against the view's own parameters
+        (e.g. ``{"source": 3}`` finds the k-hop or PageRank view rooted at
+        node 3); views missing a matched key do not qualify.  Returns the
+        first match in registration order, or ``None`` -- the front door's
+        lookup for a degradation fallback, so absence must be an answer,
+        not an error.
+        """
+        for name, registration in self._registrations.items():
+            if registration.graph != graph:
+                continue
+            if registration.view.kind != kind:
+                continue
+            params = registration.view.params
+            if match is not None and any(
+                key not in params or params[key] != value
+                for key, value in match.items()
+            ):
+                continue
+            return name
+        return None
+
     def stats(self, name: str) -> ViewStats:
         """The view's maintenance ledger (live object, counters cumulative)."""
         return self._require(name).view.stats

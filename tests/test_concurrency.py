@@ -1,0 +1,225 @@
+"""Concurrent readers vs ``apply_updates``: epoch-pinned answer exactness.
+
+The service lock serializes queries against update batches, so a reader
+racing a writer must always observe some *whole* epoch: every answer is
+tagged with the overlay epoch it read
+(:attr:`~repro.service.queries.QueryMetrics.graph_epoch`) and must equal,
+bit for bit, a from-scratch answer computed at that same epoch -- never a
+torn mix of pre- and post-batch adjacency.
+
+The oracle is built ahead of the race: a shadow service (same graph, same
+configuration, same update batches -- so the same deterministic epoch
+sequence, compactions included) answers each query kind at every epoch the
+writer will ever produce.  The threaded run then pins each concurrent
+answer to its epoch tag and compares against the oracle entry, which makes
+the assertion exact rather than statistical: any torn read, lost
+invalidation or mid-batch service of a query fails loudly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dynamic.updates import EdgeUpdate
+from repro.graph.generators import web_locality_graph
+from repro.service import BFSQuery, CCQuery, TraversalService
+
+#: Query sources exercised by the readers (and answered by the oracle).
+SOURCES = (0, 3, 17)
+
+
+def _update_batches(graph, count=10, seed=11):
+    """Deterministic effective update batches within the graph's id range."""
+    rng = np.random.default_rng(seed)
+    num_nodes = graph.num_nodes
+    batches = []
+    inserted: list[tuple[int, int]] = []
+    for _ in range(count):
+        batch = []
+        for _ in range(4):
+            source = int(rng.integers(0, num_nodes))
+            target = int(rng.integers(0, num_nodes))
+            if source == target:
+                target = (target + 1) % num_nodes
+            batch.append(EdgeUpdate.insert(source, target))
+            inserted.append((source, target))
+        if inserted and rng.random() < 0.5:
+            source, target = inserted.pop(0)
+            batch.append(EdgeUpdate.delete(source, target))
+        batches.append(batch)
+    return batches
+
+
+def _register(service, graph, sharded):
+    if sharded:
+        service.register_graph(
+            "g", graph, shards=3, executor_backend="thread"
+        )
+    else:
+        service.register_graph("g", graph)
+
+
+def _answers(service):
+    """One from-scratch answer set (BFS levels per source + CC labels)."""
+    queries = [BFSQuery("g", source) for source in SOURCES] + [CCQuery("g")]
+    results = service.submit(queries)
+    return {
+        ("bfs", source): results[index].value.levels.copy()
+        for index, source in enumerate(SOURCES)
+    } | {("cc", None): results[len(SOURCES)].value.labels.copy()}
+
+
+def _build_oracle(graph, batches, sharded):
+    """Expected answers keyed by the epoch tag each batch produces.
+
+    The shadow service replays the exact batch sequence, so its epoch
+    sequence (overlay epochs for unsharded entries, logical batch counts
+    for sharded ones -- compaction included) matches the raced service's.
+    """
+    shadow = TraversalService()
+    _register(shadow, graph, sharded)
+    entry = shadow.registry.resolve("g")
+    oracle = {entry.epoch: _answers(shadow)}
+    for batch in batches:
+        shadow.apply_updates("g", batch)
+        oracle[entry.epoch] = _answers(shadow)
+    shadow.close()
+    return oracle
+
+
+@pytest.mark.parametrize("sharded", [False, True], ids=["unsharded", "sharded"])
+def test_concurrent_readers_see_whole_epochs_bit_identically(sharded):
+    graph = web_locality_graph(180, avg_degree=7.0, seed=9)
+    batches = _update_batches(graph)
+    oracle = _build_oracle(graph, batches, sharded)
+
+    service = TraversalService()
+    _register(service, graph, sharded)
+    failures: list[str] = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for batch in batches:
+                service.apply_updates("g", batch)
+        except Exception as error:  # pragma: no cover - fails the test below
+            failures.append(f"writer raised: {error!r}")
+        finally:
+            done.set()
+
+    def reader(reader_id):
+        try:
+            while True:
+                finished = done.is_set()
+                queries = [BFSQuery("g", source) for source in SOURCES]
+                queries.append(CCQuery("g"))
+                results = service.submit(queries)
+                epochs = {r.metrics.graph_epoch for r in results[:-1]}
+                if len(epochs) != 1:
+                    failures.append(
+                        f"reader {reader_id}: BFS batch spanned epochs "
+                        f"{sorted(epochs)}"
+                    )
+                for index, source in enumerate(SOURCES):
+                    result = results[index]
+                    expected = oracle[result.metrics.graph_epoch][
+                        ("bfs", source)
+                    ]
+                    if not np.array_equal(result.value.levels, expected):
+                        failures.append(
+                            f"reader {reader_id}: BFS({source}) diverged "
+                            f"from epoch {result.metrics.graph_epoch} oracle"
+                        )
+                cc = results[-1]
+                expected = oracle[cc.metrics.graph_epoch][("cc", None)]
+                if not np.array_equal(cc.value.labels, expected):
+                    failures.append(
+                        f"reader {reader_id}: CC diverged from epoch "
+                        f"{cc.metrics.graph_epoch} oracle"
+                    )
+                if finished:
+                    return
+        except Exception as error:  # pragma: no cover - fails the test below
+            failures.append(f"reader {reader_id} raised: {error!r}")
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=reader, args=(reader_id,))
+        for reader_id in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, failures[:5]
+    # The raced service ends at the same epoch the oracle replay did, and
+    # the final answers match the last oracle entry exactly.
+    final_epoch = service.registry.resolve("g").epoch
+    assert final_epoch == max(oracle)
+    final = _answers(service)
+    for key, expected in oracle[final_epoch].items():
+        assert np.array_equal(final[key], expected)
+    service.close()
+
+
+def test_wide_bfs_group_pins_one_epoch_under_writer_pressure():
+    """A coalesced MS-BFS group must read one epoch for every lane even
+    while a writer races it -- the whole sweep is pinned before traversal."""
+    graph = web_locality_graph(150, avg_degree=6.0, seed=4)
+    batches = _update_batches(graph, count=6, seed=21)
+    oracle = _build_oracle(graph, batches, sharded=False)
+
+    service = TraversalService()
+    _register(service, graph, sharded=False)
+    failures: list[str] = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for batch in batches:
+                service.apply_updates("g", batch)
+        finally:
+            done.set()
+
+    def reader():
+        try:
+            while True:
+                finished = done.is_set()
+                # Same-source duplicates coalesce into one sweep per epoch.
+                queries = [
+                    BFSQuery("g", source)
+                    for source in SOURCES
+                    for _ in range(2)
+                ]
+                results = service.submit(queries)
+                epochs = {r.metrics.graph_epoch for r in results}
+                if len(epochs) != 1:
+                    failures.append(f"group spanned epochs {sorted(epochs)}")
+                for result in results:
+                    expected = oracle[result.metrics.graph_epoch][
+                        ("bfs", result.query.source)
+                    ]
+                    if not np.array_equal(result.value.levels, expected):
+                        failures.append(
+                            f"lane {result.metrics.batch_lane} diverged at "
+                            f"epoch {result.metrics.graph_epoch}"
+                        )
+                if finished:
+                    return
+        except Exception as error:  # pragma: no cover
+            failures.append(f"reader raised: {error!r}")
+
+    threads = [
+        threading.Thread(target=writer),
+        threading.Thread(target=reader),
+        threading.Thread(target=reader),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, failures[:5]
+    service.close()

@@ -431,3 +431,76 @@ class TestBitsPerEdgeAccounting:
         single.register_graph("web", three_graphs["web"])
         assert stats.bits_per_edge["web"] > single.stats().bits_per_edge["web"]
         assert stats.bits_per_edge["web"] < 32
+
+
+# ---------------------------------------------------------------------------
+# Duplicate-name registration guard
+# ---------------------------------------------------------------------------
+
+class TestDuplicateNameRejection:
+    """register() must reject a divergent topology under a taken name
+    atomically -- before any entry, cache or executor state is created --
+    while keeping same-topology re-registration a cheap no-op."""
+
+    def test_divergent_topology_same_config_raises(self, three_graphs):
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"])
+        with pytest.raises(ValueError, match="different topology"):
+            service.register_graph("web", three_graphs["social"])
+
+    def test_divergent_topology_new_config_raises_before_encoding(
+        self, three_graphs
+    ):
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"])
+        entries_before = len(service.registry.entries())
+        encodes_before = cgr.encode_call_count()
+        with pytest.raises(ValueError, match="different topology"):
+            service.register_graph(
+                "web",
+                three_graphs["social"],
+                GCGTConfig(residual_segmentation=False),
+            )
+        # Atomic: the rejected registration left nothing behind.
+        assert len(service.registry.entries()) == entries_before
+        assert cgr.encode_call_count() == encodes_before
+        assert service.stats().encode_calls == entries_before
+
+    def test_equal_topology_different_instance_is_still_a_noop(
+        self, three_graphs
+    ):
+        """A structurally equal Graph built separately re-registers fine --
+        the guard compares topology, not object identity."""
+        from repro.graph.graph import Graph
+
+        service = TraversalService()
+        graph = three_graphs["web"]
+        first = service.register_graph("web", graph)
+        clone = Graph([list(graph.neighbors(n)) for n in range(graph.num_nodes)])
+        again = service.register_graph("web", clone)
+        assert first is again
+
+    def test_rejected_sharded_registration_spawns_no_executor(
+        self, three_graphs
+    ):
+        service = TraversalService()
+        service.register_graph("web", three_graphs["web"])
+        with pytest.raises(ValueError, match="different topology"):
+            service.register_graph(
+                "web", three_graphs["brain"], shards=2,
+                executor_backend="thread",
+            )
+        entry = service.registry.resolve("web")
+        assert entry.executor is None
+        service.close()
+
+    def test_updates_do_not_count_as_divergence(self, three_graphs):
+        """Applied update batches mutate the live topology, but re-offering
+        the originally registered graph must stay a no-op."""
+        from repro.dynamic.updates import EdgeUpdate
+
+        service = TraversalService()
+        graph = three_graphs["web"]
+        first = service.register_graph("web", graph)
+        service.apply_updates("web", [EdgeUpdate.insert(0, 140)])
+        assert service.register_graph("web", graph) is first

@@ -746,3 +746,154 @@ class TestShardedLifecycleAndConfig:
                 assert executor.epoch == 1
                 executor.apply_updates([EdgeUpdate.delete(0, 90)])
                 assert executor.epoch == 2
+
+
+# ---------------------------------------------------------------------------
+# Robustness: worker failure, bounded shutdown, cancellation checkpoints
+# ---------------------------------------------------------------------------
+
+class TestExecutorRobustness:
+    """The executor must fail fast and shut down promptly when workers die,
+    and honour cooperative cancellation between supersteps -- the contracts
+    the front door (:mod:`repro.server`) builds its deadlines on."""
+
+    def test_dead_worker_fails_fast_with_shard_named(self, family_graphs):
+        """SIGKILLing a shard's worker process must surface as a
+        ShardWorkerError naming the failure, not a hang or a bare
+        BrokenProcessPool several calls later."""
+        import os
+        import signal
+
+        from repro.shard import ShardWorkerError
+
+        graph = family_graphs["uniform-dense"]
+        sharded = ShardedCGRGraph.from_graph(graph, 2)
+        with ShardExecutor(sharded, backend="process") as executor:
+            executor.bfs(0)  # workers warm and known-good
+            victim_pool = executor._process_pools[0]
+            for process in victim_pool._processes.values():
+                os.kill(process.pid, signal.SIGKILL)
+            with pytest.raises(ShardWorkerError, match="worker process died"):
+                executor.bfs(0)
+
+    def test_dead_worker_fails_updates_too(self, family_graphs):
+        import os
+        import signal
+
+        from repro.shard import ShardWorkerError
+
+        graph = family_graphs["uniform-dense"]
+        sharded = ShardedCGRGraph.from_graph(graph, 2)
+        with ShardExecutor(sharded, backend="process") as executor:
+            for pool in executor._process_pools:
+                for process in pool._processes.values():
+                    os.kill(process.pid, signal.SIGKILL)
+            with pytest.raises(ShardWorkerError):
+                executor.apply_updates([EdgeUpdate.insert(0, 1)])
+
+    def test_close_with_timeout_returns_promptly_after_worker_death(
+        self, family_graphs
+    ):
+        """close(timeout=...) must not hang on already-dead workers."""
+        import os
+        import signal
+        import time
+
+        graph = family_graphs["uniform-dense"]
+        sharded = ShardedCGRGraph.from_graph(graph, 2)
+        executor = ShardExecutor(sharded, backend="process")
+        for pool in executor._process_pools:
+            for process in pool._processes.values():
+                os.kill(process.pid, signal.SIGKILL)
+        started = time.monotonic()
+        executor.close(timeout=5.0)
+        assert time.monotonic() - started < 5.0
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.bfs(0)
+
+    def test_close_timeout_on_healthy_pool_still_joins_cleanly(
+        self, family_graphs
+    ):
+        graph = family_graphs["uniform-dense"]
+        sharded = ShardedCGRGraph.from_graph(graph, 2)
+        executor = ShardExecutor(sharded, backend="process")
+        executor.bfs(0)
+        executor.close(timeout=10.0)
+        executor.close(timeout=10.0)  # idempotent
+
+    @pytest.mark.parametrize("backend", ["inline", "thread"])
+    def test_checkpoint_polled_between_supersteps(self, family_graphs, backend):
+        """An installed checkpoint runs once per superstep and its exception
+        aborts the traversal between supersteps, leaving counters consistent."""
+
+        class Abort(Exception):
+            pass
+
+        graph = family_graphs["uniform-dense"]
+        sharded = ShardedCGRGraph.from_graph(graph, 2)
+        with ShardExecutor(sharded, backend=backend) as executor:
+            calls = {"n": 0}
+
+            def checkpoint():
+                calls["n"] += 1
+                if calls["n"] > 2:
+                    raise Abort()
+
+            executor.checkpoint = checkpoint
+            with pytest.raises(Abort):
+                executor.bfs(0)
+            # Exactly the supersteps before the abort ran: poll count is
+            # one ahead of the executed supersteps.
+            assert executor.counters().supersteps == 2
+            executor.checkpoint = None
+            result = executor.bfs(0)
+            assert result.levels[0] == 0
+
+    def test_checkpoint_polls_msbfs_and_gather(self, family_graphs):
+        class Abort(Exception):
+            pass
+
+        def tripwire():
+            raise Abort()
+
+        graph = family_graphs["uniform-dense"]
+        sharded = ShardedCGRGraph.from_graph(graph, 2)
+        with ShardExecutor(sharded) as executor:
+            executor.checkpoint = tripwire
+            with pytest.raises(Abort):
+                executor.msbfs([0, 1, 2])
+            with pytest.raises(Abort):
+                executor.gather_adjacency([0, 1])
+            with pytest.raises(Abort):
+                executor.expand([0], lambda s, n: False)
+            executor.checkpoint = None
+            assert executor.msbfs([0]).lane_levels[0, 0] == 0
+
+    def test_service_submit_checkpoint_between_queries(self, family_graphs):
+        """TraversalService.submit polls the checkpoint between queries and
+        installs it on sharded executors for the duration of each query."""
+
+        class Abort(Exception):
+            pass
+
+        graph = family_graphs["uniform-dense"]
+        service = TraversalService()
+        service.register_graph("g", graph, shards=2)
+        calls = {"n": 0}
+
+        def checkpoint():
+            calls["n"] += 1
+            if calls["n"] > 4:
+                raise Abort()
+
+        with pytest.raises(Abort):
+            service.submit(
+                [CCQuery("g"), CCQuery("g"), CCQuery("g")],
+                checkpoint=checkpoint,
+            )
+        # The hook is uninstalled afterwards; plain submits run clean.
+        entry = service.registry.resolve("g")
+        assert entry.executor.checkpoint is None
+        results = service.submit([BFSQuery("g", source=0)])
+        assert results[0].value.levels[0] == 0
+        service.close()
