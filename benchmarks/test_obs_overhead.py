@@ -1,0 +1,82 @@
+"""Telemetry gate: instrumentation must be nearly free when not looking.
+
+The acceptance bar of the unified telemetry layer: the serving stack is
+permanently instrumented (spans at the front door, service, shard
+executors, caches and views; callback-backed metrics), so the cost of
+that instrumentation when telemetry is off -- or head-sampled at a
+production rate -- must stay within a small budget of the uninstrumented
+baseline:
+
+* **disabled is free** -- an explicit ``Telemetry.disabled()`` bundle
+  stays within ``OBS_DISABLED_OVERHEAD_MAX`` (default 1.05, i.e. <= 5%)
+  of the baseline door: each instrumentation point costs one enabled-flag
+  check and nothing allocates;
+* **sampling is cheap** -- tracing at the production sampling rate stays
+  within ``OBS_SAMPLED_OVERHEAD_MAX`` (default 1.15, i.e. <= 15%);
+* **the fast paths really record nothing** -- the baseline and disabled
+  doors finish the run with zero stored traces, while the sampled and
+  fully traced doors actually recorded span trees (so the overhead
+  numbers compare a working tracer against a truly silent one).
+
+The thresholds are env-overridable so the CI smoke job can run this gate
+on noisy shared runners at a relaxed bar; ``scripts/record_bench.py
+--only obs`` records the same measurement into ``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.obs_bench import OBS_BENCH_MODES, run_obs_benchmark
+
+#: Default (full-gate) bound on disabled-telemetry / baseline wall-clock.
+FULL_GATE_DISABLED_MAX = 1.05
+
+#: Default (full-gate) bound on sampled-tracing / baseline wall-clock.
+FULL_GATE_SAMPLED_MAX = 1.15
+
+
+def _disabled_max() -> float:
+    return float(
+        os.environ.get("OBS_DISABLED_OVERHEAD_MAX", FULL_GATE_DISABLED_MAX)
+    )
+
+
+def _sampled_max() -> float:
+    return float(
+        os.environ.get("OBS_SAMPLED_OVERHEAD_MAX", FULL_GATE_SAMPLED_MAX)
+    )
+
+
+def test_telemetry_overhead_stays_within_budget(run_once):
+    disabled_max = _disabled_max()
+    sampled_max = _sampled_max()
+    results = run_once(run_obs_benchmark)
+
+    assert [r.mode for r in results] == list(OBS_BENCH_MODES)
+    by_mode = {r.mode: r for r in results}
+
+    # The fast paths really are silent; the sampled/traced modes really
+    # recorded traces -- otherwise the comparison proves nothing.
+    assert by_mode["baseline"].traces_recorded == 0
+    assert by_mode["disabled"].traces_recorded == 0
+    assert by_mode["sampled"].traces_recorded > 0
+    assert by_mode["traced"].traces_recorded > (
+        by_mode["sampled"].traces_recorded
+    )
+
+    disabled = by_mode["disabled"].overhead
+    assert disabled <= disabled_max, (
+        f"disabled telemetry costs {disabled:.3f}x the baseline "
+        f"({by_mode['disabled'].per_request_ms:.3f} ms/req vs "
+        f"{by_mode['baseline'].per_request_ms:.3f}), "
+        f"need <= {disabled_max:.2f}x"
+    )
+
+    sampled = by_mode["sampled"].overhead
+    assert sampled <= sampled_max, (
+        f"sampled tracing costs {sampled:.3f}x the baseline "
+        f"({by_mode['sampled'].per_request_ms:.3f} ms/req vs "
+        f"{by_mode['baseline'].per_request_ms:.3f}), "
+        f"need <= {sampled_max:.2f}x"
+    )

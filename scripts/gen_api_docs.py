@@ -45,6 +45,7 @@ PACKAGES = [
     "repro.store",
     "repro.views",
     "repro.server",
+    "repro.obs",
     "repro.bench",
 ]
 

@@ -201,10 +201,41 @@ def record_server() -> dict:
     }
 
 
+def record_obs() -> dict:
+    """The telemetry overhead benchmark (see ``repro.bench.obs_bench``)."""
+    from repro.bench.obs_bench import (
+        OBS_BENCH_REQUESTS,
+        OBS_BENCH_SAMPLE_RATE,
+        OBS_BENCH_SCALE,
+        run_obs_benchmark,
+    )
+
+    results = run_obs_benchmark()
+    by_mode = {r.mode: r for r in results}
+    return {
+        "benchmark": "obs_overhead",
+        "unit": "wall-clock seconds for the closed-loop request mix; "
+                "overhead relative to the uninstrumented baseline",
+        "baseline": "front door with no telemetry bundle",
+        "candidate": "the same stack with telemetry disabled / "
+                     f"head-sampled at {OBS_BENCH_SAMPLE_RATE:g} / "
+                     "fully traced",
+        "scale_nodes": OBS_BENCH_SCALE,
+        "requests": OBS_BENCH_REQUESTS,
+        "note": "interleaved rounds, fastest per mode; gate bounds are "
+                "disabled <= 1.05x and sampled <= 1.15x of baseline",
+        "results": [r.as_row() for r in results],
+        "disabled_overhead": round(by_mode["disabled"].overhead, 4),
+        "sampled_overhead": round(by_mode["sampled"].overhead, 4),
+        "traced_overhead": round(by_mode["traced"].overhead, 4),
+    }
+
+
 #: name -> recorder; each returns the JSON document for BENCH_<name>.json.
 BENCHMARKS = {
     "decode": record_decode,
     "msbfs": record_msbfs,
+    "obs": record_obs,
     "server": record_server,
     "shard": record_shard,
     "store": record_store,
@@ -237,11 +268,18 @@ def check(names: list[str]) -> int:
             print(f"record-bench: {path.name} has no results", file=sys.stderr)
             status = 2
             continue
-        headline = (
-            f"min speedup {document['min_speedup']}x"
-            if "min_speedup" in document
-            else f"p99 overload factor {document.get('p99_overload_factor')}x"
-        )
+        if "min_speedup" in document:
+            headline = f"min speedup {document['min_speedup']}x"
+        elif "disabled_overhead" in document:
+            headline = (
+                f"disabled overhead {document['disabled_overhead']}x, "
+                f"sampled {document.get('sampled_overhead')}x"
+            )
+        else:
+            headline = (
+                f"p99 overload factor "
+                f"{document.get('p99_overload_factor')}x"
+            )
         print(f"record-bench: {path.name} ok "
               f"({len(document['results'])} rows, {headline})")
     return status
@@ -306,6 +344,14 @@ def main() -> int:
                     f"{row['shed']} shed, {row['degraded']} degraded"
                 )
                 print(f"  {row['load_factor']}x load: {detail}")
+                continue
+            elif "mode" in row:
+                detail = (
+                    f"{row['per_request_ms']:.2f} ms/req "
+                    f"({row['overhead']}x baseline), "
+                    f"{row['traces_recorded']} traces recorded"
+                )
+                print(f"  {row['mode']}: {detail}")
                 continue
             else:
                 detail = (

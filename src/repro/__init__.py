@@ -42,6 +42,12 @@ it depends on, in pure Python:
   stream (union-find repair, delta-push residuals, frontier re-sweeps)
   instead of recomputed, with epoch-tagged staleness bounds in
   approximate mode;
+* :mod:`repro.obs` -- unified telemetry for the serving stack: per-request
+  span-tree tracing with head-based sampling, a typed metrics registry
+  (counters/gauges/histograms) the existing stats surfaces register into,
+  Prometheus/JSON exporters and a ring-buffered slow-query log -- bundled
+  as :class:`Telemetry` and threaded front door -> service -> shard
+  executors -> caches -> views;
 * :mod:`repro.bench` -- the harness regenerating every table and figure of
   the paper's evaluation (its GCGT bars run through the service).
 
@@ -105,6 +111,7 @@ from repro.dynamic import (
     EdgeUpdate,
     UpdateStats,
 )
+from repro.obs import Telemetry
 from repro.views import ViewManager, ViewResult, ViewStats
 from repro.shard import (
     GraphPartition,
@@ -148,6 +155,7 @@ __all__ = [
     "DeltaRecord",
     "EdgeUpdate",
     "UpdateStats",
+    "Telemetry",
     "ViewManager",
     "ViewResult",
     "ViewStats",

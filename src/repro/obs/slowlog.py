@@ -1,0 +1,79 @@
+"""A ring-buffered slow-query log of full span trees.
+
+The tracer offers every finished sampled root span to the slow-query
+log; the log keeps the span *trees* (not summaries) of the most recent
+requests whose end-to-end duration crossed a threshold, so "why was that
+request slow" can be answered from the retained supersteps, decode-miss
+events and queue-wait spans rather than from aggregate percentiles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+class SlowQueryLog:
+    """Retain the span trees of recent slower-than-threshold requests.
+
+    Args:
+        threshold_seconds: minimum root-span duration to admit.
+        capacity: trees retained; the oldest is evicted first.
+    """
+
+    def __init__(
+        self, threshold_seconds: float = 0.25, capacity: int = 32
+    ) -> None:
+        if threshold_seconds < 0:
+            raise ValueError(
+                f"threshold_seconds must be >= 0, got {threshold_seconds}"
+            )
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.threshold_seconds = threshold_seconds
+        self.capacity = capacity
+        #: Finished roots ever offered (admitted or not).
+        self.observed = 0
+        #: Roots that crossed the threshold (ring evictions included).
+        self.admitted = 0
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def offer(self, root) -> bool:
+        """Admit ``root`` if its duration crosses the threshold."""
+        with self._lock:
+            self.observed += 1
+            if root.duration < self.threshold_seconds:
+                return False
+            self.admitted += 1
+            self._entries.append(root)
+            return True
+
+    def entries(self) -> list:
+        """Retained slow roots, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Retained slow span trees rendered via ``Span.to_dict``."""
+        return [root.to_dict() for root in self.entries()]
+
+    def clear(self) -> None:
+        """Drop retained entries (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlowQueryLog(threshold={self.threshold_seconds}, "
+            f"retained={len(self)}, admitted={self.admitted}, "
+            f"observed={self.observed})"
+        )
+
+
+__all__ = ["SlowQueryLog"]

@@ -1,0 +1,92 @@
+"""The one-object telemetry bundle wired through the serving stack.
+
+:class:`Telemetry` owns the three observability surfaces -- a
+:class:`~repro.obs.MetricsRegistry`, a :class:`~repro.obs.Tracer` and a
+:class:`~repro.obs.SlowQueryLog` -- so the service and front door take a
+single optional ``telemetry=`` argument instead of three.  The default
+(:meth:`Telemetry.disabled`) is a genuinely inert bundle: the tracer
+answers every span request with the shared null span and the registry
+only costs anything if someone scrapes it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from .export import json_snapshot, prometheus_text
+from .metrics import MetricsRegistry
+from .slowlog import SlowQueryLog
+from .trace import Span, Tracer
+
+
+class Telemetry:
+    """Bundle of metrics registry, tracer and slow-query log.
+
+    Args:
+        enabled: master switch for tracing (metrics registration always
+            works; callback-backed instruments cost nothing until read).
+        sample_rate: fraction of requests whose span trees are recorded
+            (head-based, deterministic; see :class:`~repro.obs.Tracer`).
+        trace_capacity: finished span trees retained by the tracer.
+        slow_threshold: root duration (seconds) admitting a trace into
+            the slow-query log.
+        slow_capacity: slow span trees retained.
+        clock: monotonic time source for spans (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        trace_capacity: int = 256,
+        slow_threshold: float = 0.25,
+        slow_capacity: int = 32,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.slow_log = SlowQueryLog(
+            threshold_seconds=slow_threshold, capacity=slow_capacity
+        )
+        self.tracer = Tracer(
+            enabled=enabled,
+            sample_rate=sample_rate,
+            capacity=trace_capacity,
+            clock=clock,
+            slow_log=self.slow_log,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """An inert bundle: no span is ever recorded or sampled."""
+        return cls(enabled=False, sample_rate=0.0)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the tracer records spans."""
+        return self.tracer.enabled
+
+    def trace(self, trace_id: str) -> Span | None:
+        """The retained span tree for ``trace_id``, or ``None``."""
+        return self.tracer.trace(trace_id)
+
+    def prometheus(self) -> str:
+        """The registry rendered in Prometheus text exposition format."""
+        return prometheus_text(self.metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Metrics + retained traces + slow queries as one JSON document."""
+        return json_snapshot(
+            self.metrics, tracer=self.tracer, slow_log=self.slow_log
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry(enabled={self.enabled}, "
+            f"sample_rate={self.tracer.sample_rate}, "
+            f"instruments={len(self.metrics)}, "
+            f"traces={len(self.tracer)})"
+        )
+
+
+__all__ = ["Telemetry"]

@@ -1,0 +1,476 @@
+"""Request tracing: span trees, head-based sampling, a bounded trace store.
+
+A :class:`Tracer` mints one ``trace_id`` per request and records the
+request's lifecycle as a tree of :class:`Span` objects -- admission, queue
+wait, execution supersteps, decode-cache misses, view repairs, response --
+so one slow request can be explained stage by stage instead of inferred
+from counters.  Three disciplines keep the tracer cheap enough to leave on
+in a serving process:
+
+* **Head-based sampling** -- the keep/drop decision is made once, when the
+  trace id is minted, deterministically from the trace sequence number (so
+  tests are reproducible and a 10% rate records exactly every tenth
+  trace).  Unsampled requests still get a unique ``trace_id`` for audit
+  correlation, but every span they open is a non-recording stub.
+* **A no-op fast path when disabled** -- ``Tracer(enabled=False)`` (and
+  the shared :data:`NOOP_TRACER`) answers every ``span()`` call with the
+  shared :data:`NULL_SPAN` without allocating, so instrumented hot loops
+  cost a method call and an attribute check.
+* **Bounded memory** -- finished traces live in a ring of ``capacity``
+  roots (oldest evicted first) and each span keeps at most
+  :data:`MAX_SPAN_EVENTS` point events.
+
+Clocks are injectable everywhere, following the repo-wide determinism
+idiom: a test can drive span timings with a fake clock and assert exact
+durations.  The active-span context is **thread-local**: entering a span
+(``with tracer.span(...)``) makes it the parent of any span the same
+thread opens deeper in the stack, which is how one front-door request's
+execution span adopts the service's sweep spans and the shard executor's
+superstep spans without explicit plumbing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Iterator
+
+#: Point events retained per span; later events only bump
+#: ``dropped_events`` so a pathological request cannot balloon its trace.
+MAX_SPAN_EVENTS = 64
+
+
+class Span:
+    """One timed operation inside a trace tree.
+
+    Spans are created through :meth:`Tracer.start_trace` /
+    :meth:`Tracer.span` / :meth:`child`, never directly.  A span records a
+    start/end time on its tracer's clock, free-form ``attributes``, bounded
+    point ``events`` and child spans.  Used as a context manager it also
+    becomes the calling thread's *current* span, so nested instrumentation
+    attaches below it; :meth:`finish` alone just closes the span (the idiom
+    for spans that end on a different thread, like queue-wait spans).
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start", "end",
+        "attributes", "events", "children", "status", "dropped_events",
+        "_tracer",
+    )
+
+    #: Recording spans belong to a sampled trace.
+    sampled = True
+    #: Whether annotations/events on this span are retained.
+    recording = True
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes
+        self.events: list[dict[str, Any]] = []
+        self.children: list["Span"] = []
+        self.status = "ok"
+        self.dropped_events = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def child(self, name: str, **attributes: Any) -> "Span":
+        """Open a child span starting now; the caller closes it."""
+        return self._tracer._child(self, name, attributes)
+
+    def annotate(self, **attributes: Any) -> None:
+        """Merge key/value attributes into the span."""
+        self.attributes.update(attributes)
+
+    def event(self, name: str, **detail: Any) -> None:
+        """Record one timestamped point event (bounded per span).
+
+        Beyond :data:`MAX_SPAN_EVENTS` the event is dropped and counted in
+        :attr:`dropped_events` instead -- decode-miss storms must not grow
+        a span without bound.
+        """
+        if len(self.events) >= MAX_SPAN_EVENTS:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            {"name": name, "at": self._tracer.clock(), "detail": detail}
+        )
+
+    def finish(self, status: str | None = None) -> None:
+        """Close the span (idempotent); finishing a root stores the trace."""
+        if self.end is not None:
+            return
+        self.end = self._tracer.clock()
+        if status is not None:
+            self.status = status
+        if self.parent_id is None:
+            self._tracer._store(self)
+
+    # -- context management ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self)
+        if exc_type is not None and self.status == "ok":
+            self.status = "error"
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.finish()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def ended(self) -> bool:
+        """Whether :meth:`finish` has run."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to *now* while still open)."""
+        end = self.end if self.end is not None else self._tracer.clock()
+        return max(0.0, end - self.start)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """The first span named ``name`` in :meth:`walk` order, or ``None``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def spans_named(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in the tree, :meth:`walk` order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready recursive rendering of the span tree."""
+        document: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "status": self.status,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration if self.end is not None else None,
+        }
+        if self.attributes:
+            document["attributes"] = dict(self.attributes)
+        if self.events:
+            document["events"] = [dict(event) for event in self.events]
+        if self.dropped_events:
+            document["dropped_events"] = self.dropped_events
+        if self.children:
+            document["children"] = [
+                child.to_dict() for child in self.children
+            ]
+        return document
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.ended else "open"
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"status={self.status}, {state}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """A non-recording span stub that still carries its trace id.
+
+    Returned for unsampled traces and by disabled tracers: every recording
+    method is a no-op, children are further stubs, and entering one as a
+    context manager still occupies the thread's current-span slot (when it
+    has an owning tracer) so deeper layers inherit the not-sampled decision
+    instead of opening orphan roots.  :data:`NULL_SPAN` is the shared,
+    tracer-less instance.
+    """
+
+    __slots__ = ("trace_id", "_tracer")
+
+    sampled = False
+    recording = False
+    name = ""
+    span_id = 0
+    parent_id: int | None = None
+    start = 0.0
+    end: float | None = 0.0
+    status = "unsampled"
+    dropped_events = 0
+    ended = True
+    duration = 0.0
+    attributes: dict[str, Any] = {}
+    events: list[dict[str, Any]] = []
+    children: list["Span"] = []
+
+    def __init__(self, trace_id: str, tracer: "Tracer | None") -> None:
+        self.trace_id = trace_id
+        self._tracer = tracer
+
+    def child(self, name: str, **attributes: Any) -> "_NullSpan":
+        """Another non-recording stub on the same (unsampled) trace."""
+        if self._tracer is None:
+            return NULL_SPAN
+        return _NullSpan(self.trace_id, self._tracer)
+
+    def annotate(self, **attributes: Any) -> None:
+        """No-op."""
+
+    def event(self, name: str, **detail: Any) -> None:
+        """No-op."""
+
+    def finish(self, status: str | None = None) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NullSpan":
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._tracer is not None:
+            self._tracer._pop(self)
+
+    def walk(self) -> Iterator["Span"]:
+        """Empty: nothing was recorded."""
+        return iter(())
+
+    def find(self, name: str) -> None:
+        """Always ``None``: nothing was recorded."""
+        return None
+
+    def spans_named(self, name: str) -> list["Span"]:
+        """Always empty: nothing was recorded."""
+        return []
+
+    def to_dict(self) -> dict[str, Any]:
+        """A minimal stub rendering (unsampled traces keep no detail)."""
+        return {"trace_id": self.trace_id, "status": "unsampled"}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NullSpan(trace={self.trace_id or '<none>'})"
+
+
+#: The shared do-nothing span: safe to enter, annotate and finish.
+NULL_SPAN = _NullSpan("", None)
+
+
+class NoopTracer:
+    """The tracer-shaped null object: records nothing, allocates nothing.
+
+    :data:`NOOP_TRACER` is the default ``tracer`` attribute of
+    instrumented components (:class:`~repro.shard.ShardExecutor`,
+    :class:`~repro.views.ViewManager`) so standalone use -- outside any
+    :class:`~repro.obs.Telemetry`-wired service -- pays one attribute read
+    and a method call per would-be span.
+    """
+
+    #: Mirrors :attr:`Tracer.enabled` for duck-typed fast-path checks.
+    enabled = False
+
+    def start_trace(self, name: str, **attributes: Any) -> _NullSpan:
+        """Always :data:`NULL_SPAN` (no ids are minted)."""
+        return NULL_SPAN
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """Always :data:`NULL_SPAN`."""
+        return NULL_SPAN
+
+    def current(self) -> None:
+        """Always ``None``: there is never an active span."""
+        return None
+
+    def trace(self, trace_id: str) -> None:
+        """Always ``None``: no traces are stored."""
+        return None
+
+    def traces(self) -> list[Span]:
+        """Always empty."""
+        return []
+
+
+#: The shared do-nothing tracer.
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """Mints trace ids, builds span trees, stores finished traces.
+
+    Args:
+        enabled: when ``False`` the tracer still mints unique trace ids
+            (audit correlation stays intact) but records no spans.
+        sample_rate: fraction of traces recorded, in ``[0, 1]``; the
+            keep/drop decision is deterministic in the trace sequence
+            number (head-based sampling), so a rate of ``0.1`` keeps
+            exactly every tenth trace.
+        capacity: finished root spans retained, oldest evicted first.
+        clock: monotonic time source for every span (injectable).
+        slow_log: optional :class:`~repro.obs.SlowQueryLog` offered every
+            finished sampled root.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_rate: float = 1.0,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+        slow_log=None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.enabled = enabled
+        self.sample_rate = sample_rate
+        self.capacity = capacity
+        self.clock = clock
+        self.slow_log = slow_log
+        #: Finished sampled traces ever stored (ring evictions included).
+        self.completed = 0
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._finished: OrderedDict[str, Span] = OrderedDict()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span creation ---------------------------------------------------------
+
+    def start_trace(self, name: str, **attributes: Any) -> Span | _NullSpan:
+        """Mint a fresh trace id and open its root span.
+
+        Returns a recording :class:`Span` when the trace is sampled, else
+        a non-recording stub that still carries the minted ``trace_id`` --
+        every caller gets a unique id either way, which is what the front
+        door threads through tickets and audit events.
+        """
+        seq = next(self._trace_ids)
+        trace_id = f"t-{seq:08d}"
+        if not self._keeps(seq):
+            return _NullSpan(trace_id, self)
+        return Span(
+            self, name, trace_id, next(self._span_ids), None,
+            self.clock(), dict(attributes),
+        )
+
+    def span(self, name: str, **attributes: Any) -> Span | _NullSpan:
+        """A span below the thread's current span, or a new sampled root.
+
+        The instrumentation entry point for the layers *below* the front
+        door: inside a traced request the new span nests under whatever
+        span the calling thread has active (recording or not); with no
+        active span it starts a trace of its own -- so direct
+        ``service.submit`` calls are traced too -- and a disabled tracer
+        answers with :data:`NULL_SPAN` without allocating.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self.current()
+        if parent is not None:
+            return parent.child(name, **attributes)
+        return self.start_trace(name, **attributes)
+
+    def _child(
+        self, parent: Span, name: str, attributes: dict[str, Any]
+    ) -> Span:
+        """Create and attach a recording child of ``parent``."""
+        span = Span(
+            self, name, parent.trace_id, next(self._span_ids),
+            parent.span_id, self.clock(), attributes,
+        )
+        parent.children.append(span)
+        return span
+
+    def _keeps(self, seq: int) -> bool:
+        """Deterministic head-sampling decision for trace number ``seq``."""
+        if not self.enabled:
+            return False
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return int(seq * rate) > int((seq - 1) * rate)
+
+    # -- current-span context --------------------------------------------------
+
+    def current(self) -> "Span | _NullSpan | None":
+        """The calling thread's innermost active span, or ``None``."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1]
+
+    def _push(self, span) -> None:
+        """Make ``span`` the calling thread's current span."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span) -> None:
+        """Retire ``span`` from the calling thread's stack (defensively)."""
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- finished-trace store --------------------------------------------------
+
+    def _store(self, root: Span) -> None:
+        """Ring-store a finished root and offer it to the slow-query log."""
+        with self._lock:
+            self.completed += 1
+            self._finished[root.trace_id] = root
+            while len(self._finished) > self.capacity:
+                self._finished.popitem(last=False)
+        slow_log = self.slow_log
+        if slow_log is not None:
+            slow_log.offer(root)
+
+    def trace(self, trace_id: str) -> Span | None:
+        """The finished trace's root span, or ``None`` (unsampled/evicted)."""
+        with self._lock:
+            return self._finished.get(trace_id)
+
+    def traces(self) -> list[Span]:
+        """Retained finished traces, oldest first."""
+        with self._lock:
+            return list(self._finished.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+__all__ = [
+    "MAX_SPAN_EVENTS",
+    "NOOP_TRACER",
+    "NULL_SPAN",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+]

@@ -44,6 +44,7 @@ from repro.server.errors import (
 from repro.server.frontdoor import FrontDoor, ServerStats, Ticket
 from repro.server.sla import (
     LatencyReservoir,
+    ReservoirSnapshot,
     TenantCounters,
     TenantSLA,
     snapshot_sla,
@@ -69,6 +70,7 @@ __all__ = [
     "LatencyReservoir",
     "Overloaded",
     "Rejected",
+    "ReservoirSnapshot",
     "ServerError",
     "ServerResponse",
     "ServerStats",

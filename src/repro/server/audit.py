@@ -45,6 +45,9 @@ class AuditEvent:
         event: transition kind, one of :data:`AUDIT_EVENTS`.
         tenant: the request's tenant name.
         request_id: the front door's request sequence number.
+        trace_id: the request's trace id (see :mod:`repro.obs`), minted
+            at admission -- joins this audit line to its span tree.
+            Empty for pre-tracing records or events outside a request.
         detail: event-specific context -- rejection reason, queue depth,
             latency seconds, degraded staleness and the like.
     """
@@ -54,6 +57,7 @@ class AuditEvent:
     event: str
     tenant: str
     request_id: int
+    trace_id: str = ""
     detail: dict[str, Any] = field(default_factory=dict)
 
 
@@ -89,6 +93,7 @@ class AuditLog:
         event: str,
         tenant: str,
         request_id: int,
+        trace_id: str = "",
         **detail: Any,
     ) -> AuditEvent:
         """Append one transition; returns the recorded event."""
@@ -105,6 +110,7 @@ class AuditLog:
                 event=event,
                 tenant=tenant,
                 request_id=request_id,
+                trace_id=trace_id,
                 detail=detail,
             )
             self._events.append(entry)
@@ -119,11 +125,12 @@ class AuditLog:
         tenant: str | None = None,
         event: str | None = None,
         limit: int | None = None,
+        trace_id: str | None = None,
     ) -> list[AuditEvent]:
         """The retained window, oldest first, optionally filtered.
 
-        ``tenant`` and ``event`` filter exactly; ``limit`` keeps the most
-        recent matches.
+        ``tenant``, ``event`` and ``trace_id`` filter exactly; ``limit``
+        keeps the most recent matches.
         """
         with self._lock:
             matches = [
@@ -131,10 +138,21 @@ class AuditLog:
                 for entry in self._events
                 if (tenant is None or entry.tenant == tenant)
                 and (event is None or entry.event == event)
+                and (trace_id is None or entry.trace_id == trace_id)
             ]
         if limit is not None:
             matches = matches[-limit:]
         return matches
+
+    def for_trace(self, trace_id: str) -> list[AuditEvent]:
+        """Every retained event of one traced request, oldest first.
+
+        The audit-side join of the tracing spine: given the ``trace_id``
+        from a :class:`~repro.server.Ticket`, a
+        :class:`~repro.server.ServerResponse` or a span tree, this returns
+        the request's full lifecycle paper trail.
+        """
+        return self.events(trace_id=trace_id)
 
     def __len__(self) -> int:
         with self._lock:

@@ -164,6 +164,10 @@ class ServerResponse:
         total_seconds: submit-to-terminal latency (what the SLA reservoirs
             record for completed requests).
         request_id: the front door's sequence number for audit correlation.
+        trace_id: the request's trace id (see :mod:`repro.obs`): the key
+            that retrieves the request's span tree from the tracer and its
+            lifecycle events from the audit log.  Empty when the response
+            predates admission-time trace minting (e.g. unknown tenant).
     """
 
     status: str
@@ -177,6 +181,7 @@ class ServerResponse:
     queue_seconds: float = 0.0
     total_seconds: float = 0.0
     request_id: int = 0
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:

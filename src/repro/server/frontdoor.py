@@ -41,6 +41,7 @@ from repro.service.queries import (
     Query,
     QueryResult,
 )
+from repro.obs.telemetry import Telemetry
 from repro.service.service import ServiceStats, TraversalService
 from repro.traversal.msbfs import LANE_WIDTH
 from repro.views.base import ViewResult
@@ -67,6 +68,7 @@ class _Request:
     __slots__ = (
         "request_id", "tenant", "query", "deadline", "token", "priority",
         "coalesce_key", "ticket", "submitted_at", "admitted_at", "started_at",
+        "trace_id", "root_span", "queue_span",
     )
 
     def __init__(
@@ -77,6 +79,7 @@ class _Request:
         deadline: Deadline,
         priority: int,
         submitted_at: float,
+        root_span,
     ) -> None:
         self.request_id = request_id
         self.tenant = tenant
@@ -87,7 +90,14 @@ class _Request:
         self.coalesce_key = (
             ("bfs", query.graph) if isinstance(query, BFSQuery) else None
         )
-        self.ticket = Ticket(tenant.name, request_id, self.token)
+        self.root_span = root_span
+        self.trace_id = root_span.trace_id
+        #: Queue-wait span, opened at admission and closed when the
+        #: dispatcher picks the request up (or at any earlier terminal).
+        self.queue_span = None
+        self.ticket = Ticket(
+            tenant.name, request_id, self.token, trace_id=self.trace_id
+        )
         self.submitted_at = submitted_at
         self.admitted_at = submitted_at
         self.started_at = submitted_at
@@ -104,10 +114,18 @@ class Ticket:
     """
 
     def __init__(
-        self, tenant: str, request_id: int, token: CancelToken
+        self,
+        tenant: str,
+        request_id: int,
+        token: CancelToken,
+        trace_id: str = "",
     ) -> None:
         self.tenant = tenant
         self.request_id = request_id
+        #: The request's trace id (see :mod:`repro.obs`): joins this
+        #: ticket to its span tree and audit events.  Empty when the
+        #: request was refused before a trace was minted.
+        self.trace_id = trace_id
         self._token = token
         self._done = threading.Event()
         self._response: ServerResponse | None = None
@@ -228,6 +246,13 @@ class FrontDoor:
         audit_capacity: audit-log ring size.
         audit_sink: optional callback tailing every audit event.
         reservoir_capacity: per-tenant latency-reservoir size.
+        telemetry: the :class:`~repro.obs.Telemetry` bundle to record
+            into; defaults to the *service's* bundle so one telemetry
+            object (passed at service construction) covers the whole
+            stack.  Every submission mints a ``trace_id`` at admission,
+            threaded through the ticket, the audit log and the response;
+            sampled requests additionally record a span tree (admission,
+            queue wait, execution supersteps, response).
     """
 
     #: Dispatcher poll interval while idle (seconds); bounds shutdown lag.
@@ -244,6 +269,7 @@ class FrontDoor:
         audit_capacity: int = 1024,
         audit_sink: Callable | None = None,
         reservoir_capacity: int = 1024,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if dispatchers <= 0:
             raise ValueError(f"dispatchers must be > 0, got {dispatchers}")
@@ -251,6 +277,12 @@ class FrontDoor:
         self.clock = clock
         self.default_deadline = default_deadline
         self.degraded_staleness = degraded_staleness
+        if telemetry is None:
+            telemetry = getattr(service, "telemetry", None)
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry.disabled()
+        )
+        self.tracer = self.telemetry.tracer
         self.tenants = TenantRegistry(
             clock=clock, reservoir_capacity=reservoir_capacity
         )
@@ -277,8 +309,121 @@ class FrontDoor:
             )
             for index in range(dispatchers)
         ]
+        self._bind_metrics()
         for thread in self._dispatchers:
             thread.start()
+
+    # -- telemetry wiring -------------------------------------------------------
+
+    def _bind_metrics(self) -> None:
+        """Register the front door's own instruments into the registry.
+
+        This publishes the state the door previously kept private: live
+        queue depth, coalescing totals, and the per-kind execution-seconds
+        EMA behind the degradation predictor.  Per-tenant instruments bind
+        at :meth:`register_tenant`.
+        """
+        metrics = self.telemetry.metrics
+        metrics.gauge(
+            "frontdoor_queue_depth",
+            "Requests waiting in the admission queue.",
+        ).set_function(self.admission.depth)
+        metrics.gauge(
+            "frontdoor_queue_capacity",
+            "Bound of the admission queue.",
+        ).set(float(self.admission.capacity))
+        metrics.counter(
+            "frontdoor_unknown_tenant_rejects_total",
+            "Submissions naming no registered tenant.",
+        ).set_function(lambda: self._unknown_tenant_rejects)
+        metrics.counter(
+            "frontdoor_coalesced_groups_total",
+            "Dispatch groups that packed more than one BFS request.",
+        ).set_function(lambda: self._coalesced_groups)
+        metrics.counter(
+            "frontdoor_coalesced_requests_total",
+            "Requests carried by coalesced dispatch groups.",
+        ).set_function(lambda: self._coalesced_requests)
+        self._ema_gauge = metrics.gauge(
+            "frontdoor_exec_ema_seconds",
+            "EMA of fresh execution seconds per query kind -- the "
+            "degradation predictor.",
+            labels=("kind",),
+        )
+        self._latency_hist = metrics.histogram(
+            "frontdoor_request_seconds",
+            "End-to-end latency of answered (fresh or degraded) requests.",
+            labels=("tenant",),
+        )
+
+    def _bind_tenant_metrics(self, state: TenantState) -> None:
+        """Bind one tenant's ledger, bucket and reservoir into the registry.
+
+        All callback-backed: the instruments read the same live
+        :class:`~repro.server.sla.TenantCounters`, token bucket and
+        :class:`~repro.server.sla.LatencyReservoir` the SLA snapshots are
+        built from, so the two surfaces cannot drift.
+        """
+        metrics = self.telemetry.metrics
+        counters = state.counters
+        reservoir = state.reservoir
+        outcomes = metrics.counter(
+            "frontdoor_requests_total",
+            "Per-tenant request outcomes (live SLA-ledger reads).",
+            labels=("tenant", "outcome"),
+        )
+        for outcome in (
+            "submitted", "admitted", "completed", "degraded", "shed",
+            "rate_limited", "quota_rejected", "deadline_misses",
+            "cancelled", "failed",
+        ):
+            outcomes.set_function(
+                (lambda name: lambda: getattr(counters, name))(outcome),
+                tenant=state.name, outcome=outcome,
+            )
+        metrics.counter(
+            "frontdoor_quota_used_total",
+            "Admission units charged against the tenant quota.",
+            labels=("tenant",),
+        ).set_function(lambda: counters.quota_used, tenant=state.name)
+        metrics.gauge(
+            "frontdoor_tenant_tokens",
+            "Tokens currently available in the tenant's bucket.",
+            labels=("tenant",),
+        ).set_function(lambda: state.bucket.tokens, tenant=state.name)
+        quantiles = metrics.gauge(
+            "frontdoor_latency_quantile_seconds",
+            "Answered-request latency quantiles over the reservoir window.",
+            labels=("tenant", "quantile"),
+        )
+        for quantile in (0.5, 0.95, 0.99):
+            quantiles.set_function(
+                (lambda q: lambda: reservoir.percentile(q))(quantile),
+                tenant=state.name, quantile=f"{quantile:g}",
+            )
+        metrics.counter(
+            "frontdoor_latency_observations_total",
+            "Answered-request latency observations ever recorded.",
+            labels=("tenant",),
+        ).set_function(lambda: reservoir.count, tenant=state.name)
+
+    def _close_trace(self, request: _Request, status: str, **attrs) -> None:
+        """Finish a request's span tree with its terminal outcome.
+
+        Called from every terminal path -- fresh, degraded, shed, missed,
+        cancelled, failed, shutdown-drained -- so an admitted request's
+        trace is always complete: any still-open queue-wait span is
+        closed, a ``response`` child records the outcome, and finishing
+        the root stores the tree in the tracer (retrievable by
+        ``trace_id``).
+        """
+        queue_span = request.queue_span
+        if queue_span is not None and not queue_span.ended:
+            queue_span.finish()
+        root = request.root_span
+        root.child("response", status=status, **attrs).finish()
+        root.annotate(status=status)
+        root.finish(status)
 
     # -- tenant management -----------------------------------------------------
 
@@ -301,6 +446,9 @@ class FrontDoor:
             quota=quota, default_deadline=default_deadline,
         )
         self.tenants.register(config)
+        state = self.tenants.get(name)
+        assert state is not None
+        self._bind_tenant_metrics(state)
         return config
 
     # -- submission (admission control) ----------------------------------------
@@ -329,11 +477,16 @@ class FrontDoor:
         with self._lock:
             self._request_seq += 1
             request_id = self._request_seq
+        root = self.tracer.start_trace(
+            "request", tenant=tenant, request_id=request_id,
+            kind=type(query).__name__,
+        )
         state = self.tenants.get(tenant)
         if state is None:
             self._unknown_tenant_rejects += 1
             self.audit.record(
-                "rejected", tenant, request_id, reason="unknown_tenant"
+                "rejected", tenant, request_id,
+                trace_id=root.trace_id, reason="unknown_tenant",
             )
             return self._rejected_ticket(
                 tenant, request_id,
@@ -342,11 +495,18 @@ class FrontDoor:
                     reason="unknown_tenant",
                 ),
                 now,
+                root=root,
             )
-        self._validate_query(query)
+        try:
+            self._validate_query(query)
+        except Exception as error:
+            root.annotate(error=type(error).__name__)
+            root.finish("invalid")
+            raise
         state.counters.submitted += 1
         self.audit.record(
-            "submitted", tenant, request_id, kind=type(query).__name__
+            "submitted", tenant, request_id,
+            trace_id=root.trace_id, kind=type(query).__name__,
         )
 
         budget = deadline
@@ -363,8 +523,10 @@ class FrontDoor:
                 priority if priority is not None else state.config.priority
             ),
             submitted_at=now,
+            root_span=root,
         )
 
+        admission_span = root.child("admission", priority=request.priority)
         with self._lock:
             if self._closing:
                 rejection: Rejected = Rejected(
@@ -399,18 +561,30 @@ class FrontDoor:
                 else:
                     state.counters.admitted += 1
                     request.admitted_at = now
+                    admission_span.annotate(
+                        outcome="admitted",
+                        queue_depth=self.admission.depth(),
+                    )
+                    admission_span.finish()
+                    request.queue_span = root.child("queue")
                     self.audit.record(
                         "admitted", tenant, request_id,
+                        trace_id=root.trace_id,
                         queue_depth=self.admission.depth(),
                         priority=request.priority,
                     )
                     if evicted is not None:
                         self._shed_evicted(evicted)
                     return request.ticket
+        admission_span.annotate(outcome=rejection.reason)
+        admission_span.finish()
         self.audit.record(
-            "rejected", tenant, request_id, reason=rejection.reason
+            "rejected", tenant, request_id,
+            trace_id=root.trace_id, reason=rejection.reason,
         )
-        return self._rejected_ticket(tenant, request_id, rejection, now)
+        return self._rejected_ticket(
+            tenant, request_id, rejection, now, root=root
+        )
 
     def call(
         self,
@@ -450,9 +624,22 @@ class FrontDoor:
         request_id: int,
         error: Rejected,
         submitted_at: float,
+        root=None,
     ) -> Ticket:
-        """An already-completed ticket carrying an admission rejection."""
-        ticket = Ticket(tenant, request_id, CancelToken())
+        """An already-completed ticket carrying an admission rejection.
+
+        When the rejection happened after trace minting, ``root`` closes
+        here with the refusal reason so even rejected submissions leave a
+        retrievable (if tiny) trace.
+        """
+        trace_id = "" if root is None else root.trace_id
+        if root is not None:
+            root.child(
+                "response", status="rejected", reason=error.reason
+            ).finish()
+            root.annotate(status="rejected", reason=error.reason)
+            root.finish("rejected")
+        ticket = Ticket(tenant, request_id, CancelToken(), trace_id=trace_id)
         ticket._complete(
             ServerResponse(
                 status="rejected",
@@ -462,6 +649,7 @@ class FrontDoor:
                 retry_after=error.retry_after,
                 total_seconds=self.clock() - submitted_at,
                 request_id=request_id,
+                trace_id=trace_id,
             )
         )
         return ticket
@@ -472,8 +660,10 @@ class FrontDoor:
         request.tenant.counters.admitted -= 1
         self.audit.record(
             "rejected", request.tenant.name, request.request_id,
+            trace_id=request.trace_id,
             reason="queue_full", evicted_by_priority=True,
         )
+        self._close_trace(request, "rejected", reason="queue_full")
         request.ticket._complete(
             ServerResponse(
                 status="rejected",
@@ -490,6 +680,7 @@ class FrontDoor:
                 queue_seconds=self.clock() - request.admitted_at,
                 total_seconds=self.clock() - request.submitted_at,
                 request_id=request.request_id,
+                trace_id=request.trace_id,
             )
         )
 
@@ -533,16 +724,44 @@ class FrontDoor:
         now = self.clock()
         for request in live:
             request.started_at = now
+            queue_span = request.queue_span
+            if queue_span is not None and not queue_span.ended:
+                queue_span.finish()
             self.audit.record(
                 "started", request.tenant.name, request.request_id,
+                trace_id=request.trace_id,
                 queue_seconds=now - request.admitted_at,
                 group=len(group),
             )
+
+        # One shared execution span, recorded under the group leader's
+        # trace; a coalesced group links every lane to it -- the leader's
+        # tree carries per-lane children naming each member's trace, and
+        # each non-leader's tree carries an ``execute`` marker naming the
+        # shared (leader's) trace, so the join works from either end.
+        leader = live[0]
+        exec_span = leader.root_span.child(
+            "execute", group=len(live), coalesced=len(live) > 1,
+        )
+        link_spans = []
+        if len(live) > 1:
+            for lane, request in enumerate(live):
+                exec_span.child(
+                    "lane", lane=lane, trace=request.trace_id,
+                    tenant=request.tenant.name,
+                ).finish()
+                if request is not leader:
+                    link_spans.append(request.root_span.child(
+                        "execute", shared=True,
+                        shared_trace=leader.trace_id, lane=lane,
+                    ))
         checkpoint = self._group_checkpoint(live)
         try:
-            results = self.service.submit(
-                [request.query for request in live], checkpoint=checkpoint
-            )
+            with exec_span:
+                results = self.service.submit(
+                    [request.query for request in live],
+                    checkpoint=checkpoint,
+                )
         except (DeadlineExceeded, Cancelled):
             # The group checkpoint fires only when no member still wants
             # the answer; complete each by its own terminal cause.
@@ -562,6 +781,9 @@ class FrontDoor:
                     self._finish_missed(request, where="completed-late")
                 else:
                     self._finish_ok(request, result)
+        finally:
+            for link in link_spans:
+                link.finish(exec_span.status)
 
     @staticmethod
     def _group_checkpoint(live: list[_Request]) -> Callable[[], None]:
@@ -627,6 +849,9 @@ class FrontDoor:
         view_result = self.service.views.peek(name)
         if view_result.staleness > self.degraded_staleness:
             return False
+        request.root_span.child(
+            "degrade", view=name, staleness=view_result.staleness,
+        ).finish()
         self._finish_degraded(request, view_result)
         return True
 
@@ -644,6 +869,7 @@ class FrontDoor:
         self._exec_ema[kind] = (
             seconds if previous is None else 0.8 * previous + 0.2 * seconds
         )
+        self._ema_gauge.set(self._exec_ema[kind], kind=kind)
 
     def _finish(
         self, request: _Request, response: ServerResponse
@@ -667,9 +893,14 @@ class FrontDoor:
         )
         request.tenant.counters.completed += 1
         request.tenant.reservoir.record(total_seconds)
+        self._latency_hist.observe(total_seconds, tenant=request.tenant.name)
         self.audit.record(
             "completed", request.tenant.name, request.request_id,
-            seconds=total_seconds,
+            trace_id=request.trace_id, seconds=total_seconds,
+        )
+        self._close_trace(
+            request, "ok",
+            queue_seconds=queue_seconds, total_seconds=total_seconds,
         )
         self._finish(
             request,
@@ -680,6 +911,7 @@ class FrontDoor:
                 queue_seconds=queue_seconds,
                 total_seconds=total_seconds,
                 request_id=request.request_id,
+                trace_id=request.trace_id,
             ),
         )
 
@@ -690,9 +922,16 @@ class FrontDoor:
         queue_seconds, total_seconds = self._latencies(request)
         request.tenant.counters.degraded += 1
         request.tenant.reservoir.record(total_seconds)
+        self._latency_hist.observe(total_seconds, tenant=request.tenant.name)
         self.audit.record(
             "degraded", request.tenant.name, request.request_id,
+            trace_id=request.trace_id,
             view=view_result.name, staleness=view_result.staleness,
+        )
+        self._close_trace(
+            request, "ok",
+            degraded=True, staleness=view_result.staleness,
+            total_seconds=total_seconds,
         )
         self._finish(
             request,
@@ -705,6 +944,7 @@ class FrontDoor:
                 queue_seconds=queue_seconds,
                 total_seconds=total_seconds,
                 request_id=request.request_id,
+                trace_id=request.trace_id,
             ),
         )
 
@@ -714,11 +954,12 @@ class FrontDoor:
         request.tenant.counters.deadline_misses += 1
         self.audit.record(
             "deadline_miss", request.tenant.name, request.request_id,
-            where=where, seconds=total_seconds,
+            trace_id=request.trace_id, where=where, seconds=total_seconds,
         )
         error = DeadlineExceeded(
             f"request {request.request_id} exceeded its deadline ({where})"
         )
+        self._close_trace(request, "deadline_exceeded", where=where)
         self._finish(
             request,
             ServerResponse(
@@ -729,6 +970,7 @@ class FrontDoor:
                 queue_seconds=queue_seconds,
                 total_seconds=total_seconds,
                 request_id=request.request_id,
+                trace_id=request.trace_id,
             ),
         )
 
@@ -737,8 +979,10 @@ class FrontDoor:
         queue_seconds, total_seconds = self._latencies(request)
         request.tenant.counters.cancelled += 1
         self.audit.record(
-            "cancelled", request.tenant.name, request.request_id
+            "cancelled", request.tenant.name, request.request_id,
+            trace_id=request.trace_id,
         )
+        self._close_trace(request, "cancelled")
         self._finish(
             request,
             ServerResponse(
@@ -750,6 +994,7 @@ class FrontDoor:
                 queue_seconds=queue_seconds,
                 total_seconds=total_seconds,
                 request_id=request.request_id,
+                trace_id=request.trace_id,
             ),
         )
 
@@ -759,10 +1004,11 @@ class FrontDoor:
         request.tenant.counters.failed += 1
         self.audit.record(
             "failed", request.tenant.name, request.request_id,
-            error=repr(cause),
+            trace_id=request.trace_id, error=repr(cause),
         )
         error = Failed(f"query execution raised: {cause!r}")
         error.__cause__ = cause
+        self._close_trace(request, "failed", error=repr(cause))
         self._finish(
             request,
             ServerResponse(
@@ -772,6 +1018,7 @@ class FrontDoor:
                 queue_seconds=queue_seconds,
                 total_seconds=total_seconds,
                 request_id=request.request_id,
+                trace_id=request.trace_id,
             ),
         )
 
@@ -831,8 +1078,9 @@ class FrontDoor:
             request.tenant.counters.admitted -= 1
             self.audit.record(
                 "rejected", request.tenant.name, request.request_id,
-                reason="shutdown",
+                trace_id=request.trace_id, reason="shutdown",
             )
+            self._close_trace(request, "rejected", reason="shutdown")
             self._finish(
                 request,
                 ServerResponse(
@@ -844,6 +1092,7 @@ class FrontDoor:
                     ),
                     total_seconds=self.clock() - request.submitted_at,
                     request_id=request.request_id,
+                    trace_id=request.trace_id,
                 ),
             )
         for thread in self._dispatchers:

@@ -46,19 +46,65 @@ class LatencyReservoir:
     def percentile(self, fraction: float) -> float:
         """The ``fraction`` quantile (0..1) of retained observations.
 
-        Nearest-rank on the sorted ring; 0.0 while empty (no traffic means
-        no latency to report).
+        Nearest-rank on the sorted ring, with the edge cases pinned down
+        so no caller ever sees an ``IndexError`` or silent garbage:
+
+        * **empty** -- 0.0 by definition (no traffic means no latency to
+          report; every counter-style surface here reads 0 at rest);
+        * **single sample** -- that sample, for every fraction (there is
+          only one observed latency, so it *is* every quantile);
+        * fractions are validated to ``[0, 1]`` and the computed rank is
+          clamped to the retained window, so ``percentile(1.0)`` is the
+          maximum rather than one-past-the-end.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self._ring:
             return 0.0
+        if len(self._ring) == 1:
+            return self._ring[0]
         ordered = sorted(self._ring)
-        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
         return ordered[rank]
+
+    def values(self) -> list[float]:
+        """The retained observations, unordered (ring order)."""
+        return list(self._ring)
+
+    def snapshot(self) -> "ReservoirSnapshot":
+        """Freeze the retained window into a :class:`ReservoirSnapshot`."""
+        return ReservoirSnapshot(
+            count=self.count,
+            retained=len(self._ring),
+            p50=self.percentile(0.50),
+            p95=self.percentile(0.95),
+            p99=self.percentile(0.99),
+            minimum=min(self._ring) if self._ring else 0.0,
+            maximum=max(self._ring) if self._ring else 0.0,
+        )
 
     def __len__(self) -> int:
         return len(self._ring)
+
+
+@dataclass(frozen=True)
+class ReservoirSnapshot:
+    """Point-in-time percentile summary of one :class:`LatencyReservoir`.
+
+    Attributes:
+        count: lifetime observations, including overwritten ones.
+        retained: observations currently in the ring window.
+        p50 / p95 / p99: nearest-rank percentiles over the window.
+        minimum / maximum: extremes of the window (0.0 while empty).
+    """
+
+    count: int = 0
+    retained: int = 0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
 
 
 @dataclass
@@ -135,4 +181,10 @@ def snapshot_sla(
     )
 
 
-__all__ = ["LatencyReservoir", "TenantCounters", "TenantSLA", "snapshot_sla"]
+__all__ = [
+    "LatencyReservoir",
+    "ReservoirSnapshot",
+    "TenantCounters",
+    "TenantSLA",
+    "snapshot_sla",
+]

@@ -90,6 +90,12 @@ class DecodedAdjacencyCache:
         #: plan (earlier versions counted the miss up front, skewing hit
         #: rates and per-query miss attribution when a build failed).
         self.build_failures = 0
+        #: Optional :class:`repro.obs.Tracer`: when set (by the service's
+        #: telemetry wiring) each miss emits a ``decode_miss`` event on the
+        #: calling thread's current span, attributing decode nanoseconds to
+        #: the request that paid them.  ``None`` keeps the hot path free of
+        #: even a method call.
+        self.tracer = None
 
     # -- PlanCache protocol ---------------------------------------------------
 
@@ -125,8 +131,16 @@ class DecodedAdjacencyCache:
             self.miss_decode_ns += time.perf_counter_ns() - began
             self.build_failures += 1
             raise
-        self.miss_decode_ns += time.perf_counter_ns() - began
+        elapsed = time.perf_counter_ns() - began
+        self.miss_decode_ns += elapsed
         self.misses += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            span = tracer.current()
+            if span is not None:
+                span.event(
+                    "decode_miss", node=node, epoch=epoch, decode_ns=elapsed
+                )
         self._plans[node] = (epoch, plan)
         if len(self._plans) > self.capacity:
             self._plans.popitem(last=False)

@@ -27,6 +27,7 @@ from repro.apps.pagerank import personalized_pagerank
 from repro.dynamic.updates import UpdateStats
 from repro.gpu.device import GPUDevice
 from repro.graph.graph import Graph
+from repro.obs.telemetry import Telemetry
 from repro.traversal.gcgt import GCGTConfig
 from repro.traversal.msbfs import LANE_WIDTH, msbfs
 
@@ -129,6 +130,7 @@ class TraversalService:
         device: GPUDevice | None = None,
         config: GCGTConfig | None = None,
         cache_capacity: int = 4096,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.device = device or GPUDevice()
         self.config = config or GCGTConfig()
@@ -140,12 +142,121 @@ class TraversalService:
         #: Materialized views over registered graphs, maintained from the
         #: registry's delta stream (see :mod:`repro.views`).
         self.views = ViewManager(self.registry)
+        #: Telemetry bundle (see :mod:`repro.obs`): the default is an inert
+        #: one whose tracer never records, so standalone services pay only
+        #: an enabled-flag check per would-be span.
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry.disabled()
+        )
+        self.tracer = self.telemetry.tracer
+        self.views.tracer = self.tracer
         self.queries_served = 0
         # Serializes serving against updates/registration so concurrent
         # callers (e.g. front-door dispatchers vs a writer thread) each see
         # one consistent overlay epoch per query.  Reentrant: view
         # maintenance runs inside update application.
         self._lock = threading.RLock()
+        self._bind_metrics()
+
+    # -- telemetry wiring -----------------------------------------------------
+
+    def _bind_metrics(self) -> None:
+        """Register callback-backed instruments over the live counters.
+
+        Every instrument reads the *same* source :meth:`stats` snapshots
+        (registry counters, plan-cache counters, the views' aggregate
+        ledger), so the registry and ``ServiceStats`` can never disagree;
+        nothing is evaluated until someone collects, so serving cost is
+        zero.
+        """
+        metrics = self.telemetry.metrics
+        registry = self.registry
+
+        def cache_total(field_name: str) -> Callable[[], int]:
+            def total() -> int:
+                return sum(
+                    getattr(cache, field_name)
+                    for entry in registry.entries()
+                    for cache in entry.all_plan_caches()
+                )
+            return total
+
+        metrics.counter(
+            "service_queries_served_total",
+            "Queries answered since service construction.",
+        ).set_function(lambda: self.queries_served)
+        metrics.counter(
+            "service_encode_calls_total",
+            "Full-graph CGR encodes the registry ever performed.",
+        ).set_function(lambda: registry.encode_calls)
+        metrics.counter(
+            "service_update_batches_total",
+            "Edge-update batches absorbed.",
+        ).set_function(lambda: registry.update_batches)
+        metrics.counter(
+            "service_edges_inserted_total",
+            "Effective edge insertions applied.",
+        ).set_function(lambda: registry.edges_inserted)
+        metrics.counter(
+            "service_edges_deleted_total",
+            "Effective edge deletions applied.",
+        ).set_function(lambda: registry.edges_deleted)
+        cache_events = metrics.counter(
+            "service_cache_events_total",
+            "Decoded-plan cache events summed over resident entries.",
+            labels=("event",),
+        )
+        for event in ("hits", "misses", "evictions", "invalidations"):
+            cache_events.set_function(cache_total(event), event=event)
+        metrics.counter(
+            "service_cache_miss_decode_ns_total",
+            "Wall-clock nanoseconds spent decoding plans on cache misses.",
+        ).set_function(cache_total("miss_decode_ns"))
+        metrics.counter(
+            "service_exchange_volume_total",
+            "Scatter-gather messages exchanged by sharded entries.",
+        ).set_function(
+            lambda: sum(
+                entry.executor.exchange_volume
+                for entry in registry.entries()
+                if entry.executor is not None
+            )
+        )
+        metrics.gauge(
+            "service_graphs_resident",
+            "Resident graph entries, undirected siblings included.",
+        ).set_function(lambda: len(registry.entries()))
+        metrics.gauge(
+            "service_views_resident",
+            "Materialized views currently registered.",
+        ).set_function(lambda: len(self.views))
+        view_events = metrics.counter(
+            "service_view_events_total",
+            "Aggregate view-maintenance ledger across all views.",
+            labels=("event",),
+        )
+        for event in (
+            "incremental_batches", "skipped_batches",
+            "full_recomputes", "stale_serves",
+        ):
+            view_events.set_function(
+                (lambda name: lambda: getattr(
+                    self.views.aggregate_stats(), name
+                ))(event),
+                event=event,
+            )
+
+    def _instrument_entry(self, entry: RegisteredGraph) -> None:
+        """Point an entry's plan caches and executor at the service tracer.
+
+        Called wherever entries come into existence (registration, restore,
+        replacement, lazy undirected siblings), mirroring how the front
+        door installs cancellation checkpoints.
+        """
+        for cache in entry.all_plan_caches():
+            cache.tracer = self.tracer
+        if entry.executor is not None:
+            entry.executor.tracer = self.tracer
 
     # -- graph management -----------------------------------------------------
 
@@ -173,11 +284,13 @@ class TraversalService:
         exchange volume.
         """
         with self._lock:
-            return self.registry.register(
+            entry = self.registry.register(
                 name, graph, config,
                 shards=shards, partitioner=partitioner,
                 executor_backend=executor_backend,
             )
+            self._instrument_entry(entry)
+            return entry
 
     def apply_updates(self, name: str, updates) -> UpdateStats:
         """Absorb an edge-update batch into the graph registered as ``name``.
@@ -190,7 +303,8 @@ class TraversalService:
         ingest cost.  Returns what the batch actually changed.
         """
         with self._lock:
-            return self.registry.apply_updates(name, updates)
+            with self.tracer.span("apply_updates", graph=name):
+                return self.registry.apply_updates(name, updates)
 
     def replace_graph(
         self,
@@ -208,6 +322,7 @@ class TraversalService:
         """
         with self._lock:
             entry = self.registry.replace(name, graph, config)
+            self._instrument_entry(entry)
             self.views.invalidate_graph(name)
             return entry
 
@@ -294,9 +409,11 @@ class TraversalService:
         cheaper than re-encoding by ``benchmarks/test_store_throughput.py``.
         """
         with self._lock:
-            return self.registry.restore(
+            entry = self.registry.restore(
                 location, executor_backend=executor_backend
             )
+            self._instrument_entry(entry)
+            return entry
 
     # -- serving --------------------------------------------------------------
 
@@ -342,8 +459,10 @@ class TraversalService:
         consistent overlay epoch (recorded in its metrics) even with
         concurrent writers.
         """
-        with self._lock:
-            return self._submit_locked(list(queries), checkpoint)
+        queries = list(queries)
+        with self.tracer.span("service.submit", queries=len(queries)):
+            with self._lock:
+                return self._submit_locked(queries, checkpoint)
 
     def _submit_locked(
         self,
@@ -453,11 +572,16 @@ class TraversalService:
         cache_before = entry.cache_counters()
         epoch = entry.epoch
         executor = entry.executor
+        sweep_span = self.tracer.span(
+            "msbfs.sweep", graph=entry.name, lanes=lanes, epoch=epoch,
+            sharded=executor is not None,
+        )
         if executor is not None:
             shard_before = executor.counters()
             executor.checkpoint = checkpoint
             try:
-                sweep = executor.msbfs(sources)
+                with sweep_span:
+                    sweep = executor.msbfs(sources)
             finally:
                 executor.checkpoint = None
             shard_after = executor.counters()
@@ -476,7 +600,8 @@ class TraversalService:
         else:
             assert entry.engine is not None
             session = entry.engine.new_session()
-            sweep = msbfs(session, sources)
+            with sweep_span:
+                sweep = msbfs(session, sources)
             cost = session.cost()
             elapsed = self.device.elapsed_proxy(session.metrics)
             shard_fanout = 0
@@ -496,6 +621,10 @@ class TraversalService:
         )
         exchange_split = _split_count(exchange, lanes)
         self.queries_served += lanes
+        if sweep_span.recording:
+            sweep_span.annotate(
+                cost=cost, sweeps=sweep.sweeps, exchange_volume=exchange,
+            )
 
         results: list[QueryResult] = []
         for lane, query in enumerate(queries):
@@ -535,6 +664,7 @@ class TraversalService:
         encode_before = self.registry.encode_calls
         if isinstance(query, CCQuery):
             entry = self.registry.undirected_variant(entry)
+            self._instrument_entry(entry)
 
         cache_before = entry.cache_counters()
         executor = entry.executor
@@ -548,40 +678,45 @@ class TraversalService:
             engine = entry.engine.new_session()
             shard_before = None
 
+        query_span = self.tracer.span(
+            "query", graph=query.graph, kind=type(query).__name__,
+            sharded=executor is not None,
+        )
         try:
-            if isinstance(query, BFSQuery):
-                if executor is not None:
-                    # Superstep-native sharded BFS: shard-side admission,
-                    # node-id frontier exchange; bit-identical to bfs() on
-                    # an engine.
-                    value = executor.bfs(query.source)
+            with query_span:
+                if isinstance(query, BFSQuery):
+                    if executor is not None:
+                        # Superstep-native sharded BFS: shard-side
+                        # admission, node-id frontier exchange;
+                        # bit-identical to bfs() on an engine.
+                        value = executor.bfs(query.source)
+                    else:
+                        value = bfs(engine, query.source)
+                    kind, iterations = "bfs", value.iterations
+                elif isinstance(query, CCQuery):
+                    kind, value = "cc", connected_components(
+                        engine, max_iterations=query.max_iterations
+                    )
+                    iterations = value.iterations
+                elif isinstance(query, BCQuery):
+                    kind, value = "bc", betweenness_centrality(
+                        engine, query.source
+                    )
+                    iterations = value.iterations
+                elif isinstance(query, PageRankQuery):
+                    kind, value = "pagerank", personalized_pagerank(
+                        engine,
+                        query.source,
+                        alpha=query.alpha,
+                        epsilon=query.epsilon,
+                        degrees=entry.graph.degrees(),
+                        max_iterations=query.max_iterations,
+                    )
+                    iterations = value.iterations
                 else:
-                    value = bfs(engine, query.source)
-                kind, iterations = "bfs", value.iterations
-            elif isinstance(query, CCQuery):
-                kind, value = "cc", connected_components(
-                    engine, max_iterations=query.max_iterations
-                )
-                iterations = value.iterations
-            elif isinstance(query, BCQuery):
-                kind, value = "bc", betweenness_centrality(
-                    engine, query.source
-                )
-                iterations = value.iterations
-            elif isinstance(query, PageRankQuery):
-                kind, value = "pagerank", personalized_pagerank(
-                    engine,
-                    query.source,
-                    alpha=query.alpha,
-                    epsilon=query.epsilon,
-                    degrees=entry.graph.degrees(),
-                    max_iterations=query.max_iterations,
-                )
-                iterations = value.iterations
-            else:
-                raise TypeError(
-                    f"unsupported query type {type(query).__name__}"
-                )
+                    raise TypeError(
+                        f"unsupported query type {type(query).__name__}"
+                    )
         finally:
             if executor is not None:
                 executor.checkpoint = None
@@ -625,6 +760,11 @@ class TraversalService:
             shard_fanout=shard_fanout,
             exchange_volume=exchange_volume,
         )
+        if query_span.recording:
+            query_span.annotate(
+                cost=cost, iterations=iterations, epoch=entry.epoch,
+                cache_misses=metrics.cache_misses,
+            )
         return QueryResult(query=query, kind=kind, value=value, metrics=metrics)
 
     # -- lifecycle ------------------------------------------------------------

@@ -58,6 +58,7 @@ from typing import Callable
 import numpy as np
 
 from repro.apps.bfs import BFSResult, UNREACHED
+from repro.obs.trace import NOOP_TRACER
 from repro.compression.cgr import CGRGraph, UNCOMPRESSED_BITS_PER_EDGE
 from repro.dynamic.compaction import CompactionPolicy
 from repro.dynamic.overlay import DeltaOverlay
@@ -472,6 +473,14 @@ class ShardExecutor:
         #: that ran.  Installed per query by
         #: :meth:`~repro.service.TraversalService.submit`.
         self.checkpoint: Callable[[], None] | None = None
+        #: Tracing hook, same installation pattern as :attr:`checkpoint`:
+        #: the service's telemetry wiring replaces the no-op tracer, after
+        #: which every superstep of :meth:`expand`/:meth:`bfs`/:meth:`msbfs`
+        #: opens one ``superstep`` span (nested under the calling request's
+        #: span tree) carrying per-shard device costs and the step's
+        #: critical-path cost.  The default records nothing and allocates
+        #: nothing.
+        self.tracer = NOOP_TRACER
 
         self.engines: list[GCGTEngine] = []
         self.overlays: list[DeltaOverlay] = []
@@ -641,28 +650,41 @@ class ShardExecutor:
         self.supersteps += 1
         for shard in groups:
             self.shard_touches[shard] += 1
-        results = self._scatter(groups)
-        step_costs = []
-        for collected, metrics in results.values():
-            self.kernel_metrics.merge(metrics)
-            step_costs.append(self.device.cost(metrics))
-        if step_costs:
-            self.critical_cost += max(step_costs)
+        with self.tracer.span(
+            "superstep", op="expand", frontier=len(frontier)
+        ) as span:
+            results = self._scatter(groups)
+            step_costs = []
+            shard_costs: dict[int, float] = {}
+            for shard, (collected, metrics) in results.items():
+                self.kernel_metrics.merge(metrics)
+                cost = self.device.cost(metrics)
+                step_costs.append(cost)
+                if span.recording:
+                    shard_costs[shard] = cost
+            if step_costs:
+                self.critical_cost += max(step_costs)
+            if span.recording:
+                span.annotate(
+                    shards=sorted(groups),
+                    shard_costs=shard_costs,
+                    critical_cost=max(step_costs) if step_costs else 0.0,
+                )
 
-        assignment = self.partition.assignment
-        next_frontier: list[int] = []
-        for node in frontier:
-            shard = int(assignment[node])
-            neighbors = results[shard][0][node]
-            if not neighbors:
-                continue
-            self.exchange_volume += len(neighbors)
-            owners = assignment[np.asarray(neighbors, dtype=np.int64)]
-            self.boundary_messages += int((owners != shard).sum())
-            for neighbor in neighbors:
-                if filter_fn(node, neighbor):
-                    next_frontier.append(neighbor)
-        return next_frontier
+            assignment = self.partition.assignment
+            next_frontier: list[int] = []
+            for node in frontier:
+                shard = int(assignment[node])
+                neighbors = results[shard][0][node]
+                if not neighbors:
+                    continue
+                self.exchange_volume += len(neighbors)
+                owners = assignment[np.asarray(neighbors, dtype=np.int64)]
+                self.boundary_messages += int((owners != shard).sum())
+                for neighbor in neighbors:
+                    if filter_fn(node, neighbor):
+                        next_frontier.append(neighbor)
+            return next_frontier
 
     def _scatter(self, groups: dict[int, list[int]]):
         """Dispatch one expansion task per touched shard, backend-appropriately."""
@@ -725,22 +747,36 @@ class ShardExecutor:
             for shard, nodes in candidates.items():
                 self.shard_touches[shard] += 1
                 self.exchange_volume += len(nodes)
-            results = self._bfs_dispatch(candidates, level)
-            total_admitted = 0
-            step_costs = [0.0]
-            gathered: list[np.ndarray] = []
-            for shard, (targets, admitted, metrics) in results.items():
-                total_admitted += admitted
-                if metrics is not None:
-                    self.kernel_metrics.merge(metrics)
-                    step_costs.append(self.device.cost(metrics))
-                if len(targets):
-                    gathered.append(targets)
-                    self.exchange_volume += len(targets)
-                    self.boundary_messages += int(
-                        (assignment[targets] != shard).sum()
+            with self.tracer.span(
+                "superstep", op="bfs", level=level
+            ) as span:
+                results = self._bfs_dispatch(candidates, level)
+                total_admitted = 0
+                step_costs = [0.0]
+                shard_costs: dict[int, float] = {}
+                gathered: list[np.ndarray] = []
+                for shard, (targets, admitted, metrics) in results.items():
+                    total_admitted += admitted
+                    if metrics is not None:
+                        self.kernel_metrics.merge(metrics)
+                        cost = self.device.cost(metrics)
+                        step_costs.append(cost)
+                        if span.recording:
+                            shard_costs[shard] = cost
+                    if len(targets):
+                        gathered.append(targets)
+                        self.exchange_volume += len(targets)
+                        self.boundary_messages += int(
+                            (assignment[targets] != shard).sum()
+                        )
+                self.critical_cost += max(step_costs)
+                if span.recording:
+                    span.annotate(
+                        shards=sorted(candidates),
+                        shard_costs=shard_costs,
+                        critical_cost=max(step_costs),
+                        admitted=total_admitted,
                     )
-            self.critical_cost += max(step_costs)
             if total_admitted:
                 iterations += 1
             candidates = {}
@@ -876,26 +912,40 @@ class ShardExecutor:
             for shard, (shard_nodes, _) in candidates.items():
                 self.shard_touches[shard] += 1
                 self.exchange_volume += len(shard_nodes)
-            results = self._msbfs_dispatch(candidates, depth)
-            total_admitted = 0
-            step_costs = [0.0]
-            gathered_nodes: list[np.ndarray] = []
-            gathered_masks: list[np.ndarray] = []
-            for shard, (targets, target_masks, admitted, metrics) in (
-                results.items()
-            ):
-                total_admitted += admitted
-                if metrics is not None:
-                    self.kernel_metrics.merge(metrics)
-                    step_costs.append(self.device.cost(metrics))
-                if len(targets):
-                    gathered_nodes.append(targets)
-                    gathered_masks.append(target_masks)
-                    self.exchange_volume += len(targets)
-                    self.boundary_messages += int(
-                        (assignment[targets] != shard).sum()
+            with self.tracer.span(
+                "superstep", op="msbfs", depth=depth, lanes=lanes
+            ) as span:
+                results = self._msbfs_dispatch(candidates, depth)
+                total_admitted = 0
+                step_costs = [0.0]
+                shard_costs: dict[int, float] = {}
+                gathered_nodes: list[np.ndarray] = []
+                gathered_masks: list[np.ndarray] = []
+                for shard, (targets, target_masks, admitted, metrics) in (
+                    results.items()
+                ):
+                    total_admitted += admitted
+                    if metrics is not None:
+                        self.kernel_metrics.merge(metrics)
+                        cost = self.device.cost(metrics)
+                        step_costs.append(cost)
+                        if span.recording:
+                            shard_costs[shard] = cost
+                    if len(targets):
+                        gathered_nodes.append(targets)
+                        gathered_masks.append(target_masks)
+                        self.exchange_volume += len(targets)
+                        self.boundary_messages += int(
+                            (assignment[targets] != shard).sum()
+                        )
+                self.critical_cost += max(step_costs)
+                if span.recording:
+                    span.annotate(
+                        shards=sorted(candidates),
+                        shard_costs=shard_costs,
+                        critical_cost=max(step_costs),
+                        admitted=total_admitted,
                     )
-            self.critical_cost += max(step_costs)
             if total_admitted:
                 sweeps += 1
             candidates = {}

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.dynamic.updates import DeltaRecord
+from repro.obs.trace import NOOP_TRACER
 
 from repro.views.base import GraphContext, MaterializedView, ViewResult, ViewStats
 from repro.views.cc import CCView
@@ -65,6 +66,11 @@ class ViewManager:
     def __init__(self, registry: "GraphRegistry") -> None:
         self.registry = registry
         self._registrations: dict[str, _Registration] = {}
+        #: Tracing hook (see :attr:`repro.shard.ShardExecutor.tracer`):
+        #: view repairs and rebuilds open ``view.repair`` /
+        #: ``view.rebuild`` spans under the calling request when the
+        #: service's telemetry wiring replaces this no-op default.
+        self.tracer = NOOP_TRACER
         registry.subscribe(self.on_updates)
 
     # -- registration ----------------------------------------------------------
@@ -120,11 +126,15 @@ class ViewManager:
 
     def on_updates(self, record: DeltaRecord) -> None:
         """Registry callback: fan one effective batch out to affected views."""
-        for registration in self._registrations.values():
+        for name, registration in self._registrations.items():
             if registration.graph != record.name:
                 continue
             if registration.refresh == "eager":
-                registration.view.apply_delta(record)
+                with self.tracer.span(
+                    "view.repair", view=name, mode="eager",
+                    epoch=record.epoch,
+                ):
+                    registration.view.apply_delta(record)
                 registration.fresh_epoch = record.epoch
             else:
                 registration.pending.append(record)
@@ -137,11 +147,14 @@ class ViewManager:
         queued deltas are discarded and each view recomputes from the new
         topology.
         """
-        for registration in self._registrations.values():
+        for name, registration in self._registrations.items():
             if registration.graph != graph:
                 continue
             registration.pending.clear()
-            registration.view.rebuild()
+            with self.tracer.span(
+                "view.rebuild", view=name, reason="graph-replaced"
+            ):
+                registration.view.rebuild()
             registration.view.stats.full_recomputes += 1
             registration.view.stats.builds -= 1
             registration.fresh_epoch = self.registry.logical_epoch(graph)
@@ -175,7 +188,10 @@ class ViewManager:
         registration = self._require(name)
         if full:
             registration.pending.clear()
-            registration.view.rebuild()
+            with self.tracer.span(
+                "view.rebuild", view=name, reason="full-refresh"
+            ):
+                registration.view.rebuild()
             registration.fresh_epoch = self.registry.logical_epoch(
                 registration.graph
             )
@@ -286,7 +302,11 @@ class ViewManager:
         records = registration.pending
         registration.pending = []
         record = DeltaRecord.coalesce(records)
-        registration.view.apply_delta(record)
+        with self.tracer.span(
+            "view.repair", view=registration.view.name, mode="lazy",
+            records=len(records), epoch=record.epoch,
+        ):
+            registration.view.apply_delta(record)
         registration.fresh_epoch = record.epoch
 
     def _staleness(self, registration: _Registration) -> int:
