@@ -1,0 +1,63 @@
+"""Warm-standby gate: CDC follower catch-up vs re-encoding the graph.
+
+The acceptance bar of the lifecycle layer (:mod:`repro.lifecycle`):
+keeping a bit-identical standby replica fresh through
+:meth:`FollowerReplica.catch_up
+<repro.lifecycle.FollowerReplica.catch_up>` (replaying the CDC log tail
+through the delta overlay) must be at least ``LIFECYCLE_SPEEDUP_MIN``
+times cheaper than re-encoding the mutated adjacency from scratch -- the
+cost a standby without the lifecycle layer pays on every resync.  The
+one-time snapshot load that primes the follower is recorded alongside but
+paid once per standby lifetime, not per resync.
+
+The threshold defaults to the full 5x gate; set ``LIFECYCLE_SPEEDUP_MIN``
+lower in noisy environments (the CI perf-smoke job keeps the full bar --
+the follower path does file I/O plus overlay replay against a full VLC
+encode, so the margin is wide).
+
+``scripts/record_bench.py --only lifecycle`` runs the same measurement and
+records the numbers into ``BENCH_lifecycle.json`` so the standby-cost
+trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.lifecycle_bench import (
+    LIFECYCLE_BENCH_DATASETS,
+    run_lifecycle_benchmark,
+)
+
+#: Default (full-gate) catch-up speedup the lifecycle layer must deliver.
+FULL_GATE_SPEEDUP = 5.0
+
+
+def _threshold() -> float:
+    return float(os.environ.get("LIFECYCLE_SPEEDUP_MIN", FULL_GATE_SPEEDUP))
+
+
+def test_follower_catch_up_is_multiples_cheaper_than_reencode(run_once):
+    threshold = _threshold()
+    results = run_once(run_lifecycle_benchmark)
+
+    assert [r.dataset for r in results] == list(LIFECYCLE_BENCH_DATASETS)
+    # The gate is the aggregate standby cost over the whole sweep; no
+    # single dataset may fall far behind either (per-family numbers live
+    # in BENCH_lifecycle.json for trend tracking).
+    total_catch_up = sum(r.catch_up_seconds for r in results)
+    total_encode = sum(r.encode_seconds for r in results)
+    aggregate = total_encode / total_catch_up
+    assert aggregate >= threshold, (
+        f"aggregate follower catch-up speedup {aggregate:.1f}x across "
+        f"{len(results)} datasets, need >= {threshold:.1f}x"
+    )
+    for result in results:
+        assert result.edges > 0
+        assert result.cdc_records > 0
+        assert result.speedup >= 0.75 * threshold, (
+            f"{result.dataset}: catch-up "
+            f"{result.catch_up_seconds * 1e3:.2f} ms vs encode "
+            f"{result.encode_seconds * 1e3:.2f} ms -- only "
+            f"{result.speedup:.1f}x, need >= {0.75 * threshold:.1f}x"
+        )

@@ -43,6 +43,7 @@ PACKAGES = [
     "repro.dynamic",
     "repro.shard",
     "repro.store",
+    "repro.lifecycle",
     "repro.views",
     "repro.server",
     "repro.obs",

@@ -138,6 +138,40 @@ def record_store() -> dict:
     }
 
 
+def record_lifecycle() -> dict:
+    """The follower catch-up benchmark (see ``repro.bench.lifecycle_bench``)."""
+    from repro.bench.lifecycle_bench import (
+        LIFECYCLE_BENCH_BATCHES,
+        LIFECYCLE_BENCH_BATCH_SIZE,
+        LIFECYCLE_BENCH_SCALE,
+        run_lifecycle_benchmark,
+    )
+
+    results = run_lifecycle_benchmark()
+    return {
+        "benchmark": "lifecycle_throughput",
+        "unit": "seconds to a queryable, bit-identical standby replica",
+        "baseline": "full CGR re-encode of the mutated adjacency",
+        "candidate": "FollowerReplica.catch_up on a primed follower: CDC "
+                     "log replay through the delta overlay "
+                     "(repro.lifecycle.cdc)",
+        "scale_nodes": LIFECYCLE_BENCH_SCALE,
+        "cdc_batches": LIFECYCLE_BENCH_BATCHES,
+        "batch_size": LIFECYCLE_BENCH_BATCH_SIZE,
+        "note": "follower answers verified bit-identical to the live "
+                "primary before timing is reported; prime_seconds is the "
+                "one-time snapshot load, paid per standby lifetime, not "
+                "per resync",
+        "results": [r.as_row() for r in results],
+        "min_speedup": round(min(r.speedup for r in results), 2),
+        "aggregate_speedup": round(
+            sum(r.encode_seconds for r in results)
+            / sum(r.catch_up_seconds for r in results),
+            2,
+        ),
+    }
+
+
 def record_views() -> dict:
     """The view-maintenance benchmark (see ``repro.bench.views_bench``)."""
     from repro.bench.views_bench import (
@@ -234,6 +268,7 @@ def record_obs() -> dict:
 #: name -> recorder; each returns the JSON document for BENCH_<name>.json.
 BENCHMARKS = {
     "decode": record_decode,
+    "lifecycle": record_lifecycle,
     "msbfs": record_msbfs,
     "obs": record_obs,
     "server": record_server,
@@ -329,6 +364,12 @@ def main() -> int:
                 detail = (
                     f"load {row['load_seconds'] * 1e3:.2f} ms vs "
                     f"encode {row['encode_seconds'] * 1e3:.2f} ms"
+                )
+            elif "catch_up_seconds" in row:
+                detail = (
+                    f"catch-up {row['catch_up_seconds'] * 1e3:.2f} ms vs "
+                    f"encode {row['encode_seconds'] * 1e3:.2f} ms over "
+                    f"{row['cdc_records']} CDC records"
                 )
             elif "maintain_seconds" in row:
                 detail = (

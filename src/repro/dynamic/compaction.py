@@ -34,6 +34,13 @@ class CompactionPolicy:
         min_delta: smallest delta size that can ever trigger compaction.
         degree_fraction: delta size relative to the node's extent degree
             that triggers compaction for high-degree nodes.
+        rebase_garbage_fraction: fraction of an overlay's total bits that
+            may be garbage (superseded extents, insert runs) before the
+            maintenance layer folds the whole overlay into a fresh base
+            encode (see :meth:`should_rebase` and
+            :meth:`~repro.service.GraphRegistry.rebase`).
+        min_rebase_bits: absolute garbage floor below which a rebase is
+            never worth the full re-encode, whatever the fraction.
 
     ``CompactionPolicy.never()`` disables automatic compaction (explicit
     :meth:`~repro.dynamic.overlay.DeltaOverlay.compact` calls still work),
@@ -42,6 +49,8 @@ class CompactionPolicy:
 
     min_delta: int = 8
     degree_fraction: float = 0.25
+    rebase_garbage_fraction: float = 0.25
+    min_rebase_bits: int = 4096
 
     def __post_init__(self) -> None:
         if self.min_delta < 1:
@@ -49,6 +58,15 @@ class CompactionPolicy:
         if self.degree_fraction < 0:
             raise ValueError(
                 f"degree_fraction must be >= 0, got {self.degree_fraction}"
+            )
+        if not 0 < self.rebase_garbage_fraction <= 1:
+            raise ValueError(
+                "rebase_garbage_fraction must be in (0, 1], got "
+                f"{self.rebase_garbage_fraction}"
+            )
+        if self.min_rebase_bits < 0:
+            raise ValueError(
+                f"min_rebase_bits must be >= 0, got {self.min_rebase_bits}"
             )
 
     def threshold(self, extent_degree: int) -> float:
@@ -58,6 +76,21 @@ class CompactionPolicy:
     def should_compact(self, delta_size: int, extent_degree: int) -> bool:
         """True when a node's delta has outgrown the policy's threshold."""
         return delta_size >= self.threshold(extent_degree)
+
+    def should_rebase(self, garbage_bits: int, total_bits: int) -> bool:
+        """Whole-overlay analogue of :meth:`should_compact`.
+
+        Per-node compaction folds deltas into the overlay's *side stream*,
+        which reclaims decode work but not storage: superseded extents
+        stay in the stream as garbage bits.  Once those exceed
+        ``rebase_garbage_fraction`` of the stream (and the absolute
+        ``min_rebase_bits`` floor), the maintenance scheduler re-encodes
+        the merged graph into a fresh base -- the background
+        overlay-to-base compaction of the lifecycle layer.
+        """
+        if garbage_bits < self.min_rebase_bits:
+            return False
+        return garbage_bits >= self.rebase_garbage_fraction * max(1, total_bits)
 
     @classmethod
     def never(cls) -> "CompactionPolicy":

@@ -396,6 +396,15 @@ class DeltaOverlay:
         delta = self._deltas.get(node)
         return 0 if delta is None else delta.size
 
+    def dirty_nodes(self) -> list[int]:
+        """Every node carrying an un-compacted delta, sorted ascending.
+
+        The maintenance scheduler's work list: it compacts the largest
+        deltas first within a bounded per-tick budget (see
+        :mod:`repro.lifecycle.maintenance`).
+        """
+        return sorted(self._deltas)
+
     # -- updates ---------------------------------------------------------------
 
     def apply(self, updates: Iterable) -> UpdateStats:

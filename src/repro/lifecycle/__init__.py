@@ -1,0 +1,74 @@
+"""Snapshot lifecycle operations: compaction, retention, tags, CDC followers.
+
+The persistent store (:mod:`repro.store`) made snapshots durable; this
+package keeps a snapshot *directory* healthy over the life of a serving
+deployment, closing the ROADMAP's background-maintenance open item:
+
+* :mod:`repro.lifecycle.maintenance` -- a scheduler that runs bounded
+  overlay compaction and overlay-to-base rebases between queries, yielding
+  to foreground work, so reads are never blocked by maintenance;
+* :mod:`repro.lifecycle.retention` -- epoch expiry with reachability
+  analysis over shared base files: GC deletes only what no retained
+  manifest or tag still reaches, manifests before data, pointer never;
+* :mod:`repro.lifecycle.tagging` -- named tags pinning epochs for time
+  travel (a tagged epoch survives any retention policy);
+* :mod:`repro.lifecycle.cdc` -- a change-data-capture log serializing the
+  registry's :class:`~repro.dynamic.DeltaRecord` stream through the framed
+  store container, and the :class:`~repro.lifecycle.cdc.FollowerReplica`
+  that zero-copy-loads a snapshot and tails the log to serve bit-identical
+  answers.
+
+Every byte these operations move flows through the fault-injectable
+mutation layer (:mod:`repro.store.io`), which is what lets the crash
+harness in ``tests/test_lifecycle_crash.py`` kill each operation at every
+write/fsync/rename/remove boundary and prove the directory stays
+restorable.
+"""
+
+from repro.lifecycle.cdc import (
+    CDCWriter,
+    FollowerReplica,
+    read_cdc_records,
+    serialize_record,
+)
+from repro.lifecycle.maintenance import (
+    MaintenanceConfig,
+    MaintenanceReport,
+    MaintenanceScheduler,
+)
+from repro.lifecycle.retention import (
+    GCReport,
+    RetentionPolicy,
+    collect_garbage,
+    list_epoch_manifests,
+    reachable_files,
+)
+from repro.lifecycle.tagging import (
+    TAG_KIND,
+    create_tag,
+    delete_tag,
+    list_tags,
+    read_tag,
+    resolve_tag,
+)
+
+__all__ = [
+    "CDCWriter",
+    "FollowerReplica",
+    "GCReport",
+    "MaintenanceConfig",
+    "MaintenanceReport",
+    "MaintenanceScheduler",
+    "RetentionPolicy",
+    "TAG_KIND",
+    "collect_garbage",
+    "create_tag",
+    "delete_tag",
+    "list_epoch_manifests",
+    "list_tags",
+    "reachable_files",
+    "read_cdc_records",
+    "read_tag",
+    "resolve_tag",
+    "serialize_record",
+]

@@ -1,0 +1,198 @@
+"""Retention: expire old epochs, delete only what nothing reaches.
+
+A snapshot directory accretes one epoch manifest and one delta file (per
+shard) per snapshot, and one base file per generation per rebase.  The
+retention pass (:func:`collect_garbage`) bounds that growth with a
+reachability analysis instead of ad-hoc file ages:
+
+1. **Roots** -- the pointer epoch (``manifest.json``), the newest
+   ``keep_epochs`` epoch manifests, and every tagged epoch
+   (:mod:`repro.lifecycle.tagging`) are retained unconditionally.
+2. **Reachability** -- the union of ``base_files``, ``delta_files`` and
+   ``partition_file`` across all retained manifests is the live set.  Base
+   files are *shared* across epochs (that is the Iceberg trick), so a base
+   stays alive as long as any retained epoch references it, whatever its
+   generation.
+3. **Deletion order** -- expired epoch *manifests* are unlinked first,
+   then unreferenced *data* files, then stray ``*.tmp`` files.  A crash
+   mid-GC therefore leaves at worst orphaned data files (collected by the
+   next pass) -- never a manifest whose files are gone.  The pointer
+   ``manifest.json`` itself is never deleted.
+
+Every unlink goes through :func:`repro.store.io.remove_file`, so the
+fault-injection harness observes each file GC is about to destroy and can
+assert the reachable set is never touched.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.store.format import StoreError
+from repro.store.io import remove_file
+from repro.store.snapshot import MANIFEST_NAME, read_manifest
+
+from repro.lifecycle.tagging import TAGS_DIR, list_tags
+
+#: Epoch-manifest copies: ``manifest-epoch-<E>.json``.
+_EPOCH_MANIFEST = re.compile(r"^manifest-epoch-(\d+)\.json$")
+
+#: Data files GC may delete when unreferenced (base encodes, per-epoch
+#: deltas, partition assignments).  Anything else in the directory is not
+#: the store's to remove.
+_DATA_SUFFIXES = (".cgr", ".delta", ".bin")
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How many epochs to keep, beyond the pointer and tagged pins.
+
+    Attributes:
+        keep_epochs: the newest N epoch manifests are retained even when
+            untagged (the pointer epoch and tagged epochs are always
+            retained on top of this).  Must be >= 1 so a directory always
+            offers at least one restorable history entry.
+    """
+
+    keep_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.keep_epochs < 1:
+            raise ValueError(
+                f"keep_epochs must be >= 1, got {self.keep_epochs}"
+            )
+
+
+@dataclass
+class GCReport:
+    """What one :func:`collect_garbage` pass retained and removed.
+
+    Attributes:
+        retained_epochs: epochs whose manifests survive, sorted ascending.
+        deleted_manifests: epoch-manifest file names unlinked.
+        deleted_files: data file names unlinked (unreachable bases/deltas).
+        kept_files: data file names retained as reachable.
+        removed_tmp: stray ``*.tmp`` write-aside files cleaned up.
+    """
+
+    retained_epochs: list[int] = field(default_factory=list)
+    deleted_manifests: list[str] = field(default_factory=list)
+    deleted_files: list[str] = field(default_factory=list)
+    kept_files: list[str] = field(default_factory=list)
+    removed_tmp: list[str] = field(default_factory=list)
+
+
+def list_epoch_manifests(directory: str | Path) -> dict[int, Path]:
+    """Every ``manifest-epoch-<E>.json`` in the directory, keyed by epoch."""
+    directory = Path(directory)
+    found: dict[int, Path] = {}
+    for path in directory.iterdir():
+        match = _EPOCH_MANIFEST.match(path.name)
+        if match:
+            found[int(match.group(1))] = path
+    return dict(sorted(found.items()))
+
+
+def reachable_files(
+    directory: str | Path, manifests: "list[dict] | tuple[dict, ...]"
+) -> set[str]:
+    """File names (relative to the directory) the given manifests reference.
+
+    The union of every manifest's base files, delta files and partition
+    file -- the set retention GC must never delete.
+    """
+    live: set[str] = set()
+    for manifest in manifests:
+        live.update(manifest["base_files"])
+        live.update(manifest["delta_files"])
+        if manifest.get("partition_file"):
+            live.add(manifest["partition_file"])
+    return live
+
+
+def collect_garbage(
+    directory: str | Path,
+    policy: RetentionPolicy | None = None,
+) -> GCReport:
+    """One retention pass over a snapshot directory; returns the report.
+
+    Retains the pointer epoch, the newest ``policy.keep_epochs`` epochs and
+    every tagged epoch; deletes expired epoch manifests first, then data
+    files no retained manifest reaches, then stray ``*.tmp`` files.  A tag
+    pinning a missing epoch manifest aborts the pass with
+    :class:`~repro.store.StoreError` before anything is deleted -- GC must
+    never "fix" an externally mutated directory by deleting more.
+
+    Idempotent: a second pass over an unchanged directory deletes nothing.
+    """
+    directory = Path(directory)
+    policy = policy or RetentionPolicy()
+    pointer_path = directory / MANIFEST_NAME
+    if not pointer_path.exists():
+        raise StoreError(
+            f"{directory}: no {MANIFEST_NAME}; not a snapshot directory"
+        )
+    pointer = read_manifest(pointer_path)
+    epochs = list_epoch_manifests(directory)
+    tags = list_tags(directory)
+
+    # -- roots ------------------------------------------------------------
+    retained = {pointer["epoch"]}
+    retained.update(sorted(epochs)[-policy.keep_epochs:])
+    for tag, epoch in tags.items():
+        if epoch not in epochs:
+            raise StoreError(
+                f"{directory}: tag {tag!r} pins epoch {epoch} but "
+                f"manifest-epoch-{epoch}.json is missing; refusing to GC"
+            )
+        retained.add(epoch)
+
+    # -- reachability -----------------------------------------------------
+    retained_manifests = [pointer]
+    for epoch in sorted(retained):
+        if epoch in epochs:
+            retained_manifests.append(read_manifest(epochs[epoch]))
+    live = reachable_files(directory, retained_manifests)
+
+    report = GCReport(retained_epochs=sorted(retained & set(epochs)))
+    if pointer["epoch"] not in epochs:
+        # The pointer epoch's manifest copy may predate epoch copies (or
+        # have been hand-removed); the pointer itself still retains it.
+        report.retained_epochs = sorted(retained & (set(epochs) | {pointer["epoch"]}))
+
+    # -- delete expired manifests first -----------------------------------
+    for epoch, path in epochs.items():
+        if epoch in retained:
+            continue
+        remove_file(path)
+        report.deleted_manifests.append(path.name)
+
+    # -- then unreferenced data files -------------------------------------
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.suffix not in _DATA_SUFFIXES:
+            continue
+        if path.name in live:
+            report.kept_files.append(path.name)
+            continue
+        remove_file(path)
+        report.deleted_files.append(path.name)
+
+    # -- finally, write-aside strays from torn publishes -------------------
+    for path in sorted(directory.glob("*.tmp")) + sorted(
+        (directory / TAGS_DIR).glob("*.tmp")
+        if (directory / TAGS_DIR).is_dir() else []
+    ):
+        remove_file(path, missing_ok=True)
+        report.removed_tmp.append(path.name)
+    return report
+
+
+__all__ = [
+    "GCReport",
+    "RetentionPolicy",
+    "collect_garbage",
+    "list_epoch_manifests",
+    "reachable_files",
+]

@@ -1,0 +1,172 @@
+"""Named tags: human-readable pins on snapshot epochs, for time travel.
+
+A tag is a tiny JSON file under ``<snapshot dir>/tags/<name>.json`` naming
+one epoch of the directory (see ``docs/FORMAT.md``)::
+
+    {"kind": "cgr-tag", "manifest_version": 2,
+     "tag": "release-1", "epoch": 3,
+     "manifest": "manifest-epoch-3.json"}
+
+Tags serve two purposes.  For **time travel**, :func:`resolve_tag` turns a
+tag name into the epoch manifest path, which any restore entry point
+(:meth:`~repro.service.TraversalService.load_graph`,
+:func:`~repro.store.snapshot.restore_entry`) accepts directly.  For
+**retention**, a tagged epoch is a GC root: :func:`~repro.lifecycle.
+retention.collect_garbage` refuses to expire a tagged epoch or delete any
+file it reaches, however old, until the tag is deleted.
+
+Tags are published atomically through :func:`~repro.store.io.publish_text`
+(write-aside + rename), so a crash mid-create leaves either no tag or a
+whole tag, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.store.format import StoreError, StoreFormatError
+from repro.store.io import publish_text, remove_file
+from repro.store.snapshot import MANIFEST_NAME, MANIFEST_VERSION, read_manifest
+
+#: The ``kind`` field every tag file must carry.
+TAG_KIND = "cgr-tag"
+
+#: Subdirectory of a snapshot directory holding its tag files.
+TAGS_DIR = "tags"
+
+#: Legal tag names: path-safe, no separators, no leading dot tricks.
+_TAG_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def _tag_path(directory: Path, tag: str) -> Path:
+    """The on-disk path of ``tag`` inside ``directory`` (validated name)."""
+    if not _TAG_NAME.match(tag):
+        raise ValueError(
+            f"illegal tag name {tag!r}: use letters, digits, '.', '_', '-' "
+            "(must start with a letter or digit)"
+        )
+    return Path(directory) / TAGS_DIR / f"{tag}.json"
+
+
+def create_tag(
+    directory: str | Path, tag: str, epoch: int | None = None
+) -> Path:
+    """Pin an epoch of the snapshot directory under a named tag.
+
+    ``epoch`` defaults to the directory's current epoch (the one
+    ``manifest.json`` points at).  The epoch's manifest copy must exist --
+    a tag must never point at an epoch retention already expired.  Returns
+    the tag file's path.  Re-tagging an existing name to a different epoch
+    raises :class:`~repro.store.StoreError` (delete the tag first); to the
+    same epoch it is an idempotent no-op.
+    """
+    directory = Path(directory)
+    if epoch is None:
+        epoch = read_manifest(directory / MANIFEST_NAME)["epoch"]
+    manifest_name = f"manifest-epoch-{epoch}.json"
+    if not (directory / manifest_name).exists():
+        raise StoreError(
+            f"{directory}: cannot tag epoch {epoch}: {manifest_name} does "
+            "not exist (expired by retention, or never snapshotted)"
+        )
+    path = _tag_path(directory, tag)
+    if path.exists():
+        existing = read_tag(path)
+        if existing["epoch"] == epoch:
+            return path
+        raise StoreError(
+            f"{path}: tag {tag!r} already pins epoch {existing['epoch']}; "
+            f"delete it before re-tagging to epoch {epoch}"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "kind": TAG_KIND,
+        "manifest_version": MANIFEST_VERSION,
+        "tag": tag,
+        "epoch": epoch,
+        "manifest": manifest_name,
+    }
+    publish_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_tag(path: str | Path) -> dict:
+    """Load and validate one tag file (kind + required fields)."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise StoreFormatError(
+            f"{path}: tag file is not valid JSON: {error}"
+        ) from None
+    if not isinstance(document, dict) or document.get("kind") != TAG_KIND:
+        raise StoreFormatError(
+            f"{path}: not a tag file (kind must be {TAG_KIND!r})"
+        )
+    for field in ("tag", "epoch", "manifest"):
+        if document.get(field) is None:
+            raise StoreFormatError(
+                f"{path}: tag file is missing required field {field!r}"
+            )
+    return document
+
+
+def list_tags(directory: str | Path) -> dict[str, int]:
+    """Every tag in the directory, as ``{tag name: pinned epoch}``.
+
+    Stray ``*.tmp`` files (torn publishes) are ignored; a malformed tag
+    file raises :class:`~repro.store.StoreFormatError` rather than being
+    silently skipped, because retention must not expire an epoch a
+    half-readable tag might pin.
+    """
+    tags_dir = Path(directory) / TAGS_DIR
+    if not tags_dir.is_dir():
+        return {}
+    result: dict[str, int] = {}
+    for path in sorted(tags_dir.glob("*.json")):
+        document = read_tag(path)
+        result[document["tag"]] = document["epoch"]
+    return result
+
+
+def resolve_tag(directory: str | Path, tag: str) -> Path:
+    """The epoch-manifest path a tag pins -- feed it to any restore API.
+
+    Raises :class:`~repro.store.StoreError` for an unknown tag and
+    :class:`~repro.store.StoreFormatError` if the pinned manifest is gone
+    (which GC guarantees never happens while the tag exists).
+    """
+    directory = Path(directory)
+    path = _tag_path(directory, tag)
+    if not path.exists():
+        known = ", ".join(sorted(list_tags(directory))) or "<none>"
+        raise StoreError(
+            f"{directory}: no tag named {tag!r}; known tags: {known}"
+        )
+    document = read_tag(path)
+    manifest_path = directory / document["manifest"]
+    if not manifest_path.exists():
+        raise StoreFormatError(
+            f"{path}: tag pins {document['manifest']}, which does not exist "
+            "-- the directory was mutated outside retention GC"
+        )
+    return manifest_path
+
+
+def delete_tag(directory: str | Path, tag: str) -> bool:
+    """Unpin ``tag`` (its epoch becomes GC-eligible); returns existence."""
+    path = _tag_path(Path(directory), tag)
+    return remove_file(path, missing_ok=True)
+
+
+__all__ = [
+    "TAG_KIND",
+    "TAGS_DIR",
+    "create_tag",
+    "delete_tag",
+    "list_tags",
+    "read_tag",
+    "resolve_tag",
+]

@@ -301,6 +301,14 @@ class FrontDoor:
         self._exec_ema: dict[str, float] = {}
         self._lock = threading.Lock()
         self._closing = False
+        #: The attached maintenance scheduler (None until
+        #: :meth:`attach_maintenance`); ticked by idle dispatchers.
+        self._maintenance = None
+        #: Run counter of idle maintenance ticks (exported as a metric).
+        self._maintenance_ticks = 0
+        # At most one dispatcher runs maintenance at a time; the others
+        # keep polling the queue so foreground latency is unaffected.
+        self._maintenance_mutex = threading.Lock()
         self._dispatchers = [
             threading.Thread(
                 target=self._dispatch_loop,
@@ -344,6 +352,10 @@ class FrontDoor:
             "frontdoor_coalesced_requests_total",
             "Requests carried by coalesced dispatch groups.",
         ).set_function(lambda: self._coalesced_requests)
+        metrics.counter(
+            "frontdoor_maintenance_ticks_total",
+            "Maintenance ticks run by idle dispatchers.",
+        ).set_function(lambda: self._maintenance_ticks)
         self._ema_gauge = metrics.gauge(
             "frontdoor_exec_ema_seconds",
             "EMA of fresh execution seconds per query kind -- the "
@@ -691,15 +703,61 @@ class FrontDoor:
         mean = sum(self._exec_ema.values()) / len(self._exec_ema)
         return self.admission.depth() * mean
 
+    # -- background maintenance ------------------------------------------------
+
+    def attach_maintenance(self, scheduler) -> None:
+        """Run lifecycle maintenance in the gaps between request waves.
+
+        ``scheduler`` is a :class:`~repro.lifecycle.MaintenanceScheduler`
+        (typically from :meth:`~repro.service.TraversalService.
+        enable_maintenance`).  Whenever a dispatcher's queue poll comes back
+        empty, it runs **one** maintenance tick with a ``should_yield``
+        that fires as soon as a request is admitted or shutdown starts --
+        so compaction, rebase and snapshot/GC happen strictly between
+        queries and never block a read for more than one bounded step.
+        Pass ``None`` to detach.
+        """
+        self._maintenance = scheduler
+
+    def _maintenance_should_yield(self) -> bool:
+        """Foreground work (or shutdown) wants the dispatcher back."""
+        return self._closing or self.admission.depth() > 0
+
+    def _run_maintenance_tick(self) -> None:
+        """One idle-time maintenance tick, single-flighted across dispatchers.
+
+        Maintenance errors are contained here (counted via the scheduler's
+        own telemetry spans): a failing snapshot directory must not take
+        the dispatcher thread -- and with it the whole front door -- down.
+        """
+        scheduler = self._maintenance
+        if scheduler is None or self._closing:
+            return
+        if not self._maintenance_mutex.acquire(blocking=False):
+            return
+        try:
+            self._maintenance_ticks += 1
+            scheduler.tick(should_yield=self._maintenance_should_yield)
+        except Exception:  # noqa: BLE001 - maintenance must not kill dispatch
+            pass
+        finally:
+            self._maintenance_mutex.release()
+
     # -- dispatch --------------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
-        """Dispatcher thread: drain the admission queue until closed."""
+        """Dispatcher thread: drain the admission queue until closed.
+
+        An empty poll means the door is idle; with a maintenance scheduler
+        attached (:meth:`attach_maintenance`) the dispatcher spends that
+        gap on one bounded maintenance tick instead of sleeping again.
+        """
         while True:
             group = self.admission.take(timeout=self._IDLE_WAIT)
             if not group:
                 if self._closing and self.admission.depth() == 0:
                     return
+                self._run_maintenance_tick()
                 continue
             self._execute_group(group)
 

@@ -97,6 +97,11 @@ class RegisteredGraph:
     executor: "ShardExecutor | None" = field(default=None, repr=False)
     shards: int | None = None
     partitioner: "Partitioner | str | None" = field(default=None, repr=False)
+    #: Base-encode generation of an unsharded entry: bumped every time
+    #: :meth:`GraphRegistry.rebase` folds the overlay into a fresh base
+    #: (sharded entries keep one generation per shard on the executor).
+    #: Snapshot base file names derive from it (``base-gen-<g>.cgr``).
+    base_generation: int = 0
     #: The symmetrised sibling used by CC queries, built on first use.
     undirected: "RegisteredGraph | None" = field(default=None, repr=False)
     #: Lazily (re)built CSR; dropped whenever an update batch lands.
@@ -597,6 +602,80 @@ class GraphRegistry:
                     mirror.append(update.reversed)
         return mirror
 
+    # -- overlay-to-base compaction (rebase) -----------------------------------
+
+    def rebase(
+        self,
+        name: str,
+        config: GCGTConfig | None = None,
+        shard: int | None = None,
+    ) -> list[dict]:
+        """Fold overlay state back into fresh frozen base encode(s).
+
+        The maintenance counterpart of per-node compaction: where
+        :meth:`~repro.dynamic.DeltaOverlay.compact` folds one node's delta
+        into the overlay's side stream, a rebase re-encodes the *entire*
+        merged adjacency into a new immutable base and wraps a fresh, empty
+        overlay around it -- reclaiming every garbage bit and restoring
+        first-encode locality.  Topology and query answers are unchanged;
+        the entry's base generation advances, so the next snapshot writes a
+        new ``base-gen-<g>.cgr`` while epochs already published keep their
+        old base files (retention GC collects them once unreachable).
+
+        For sharded entries one shard is rebased per call when ``shard`` is
+        given (the incremental form the maintenance scheduler uses, keeping
+        each pause bounded by the largest shard), or every shard in turn
+        when omitted.  The entry's overlay/engine swap is atomic under the
+        caller's lock (the service serialises mutations); overlay epochs
+        advance so snapshot delta names never collide, and cumulative
+        counters carry over so :meth:`TraversalService.stats` stays
+        monotone.  Counts one encode call per rebased base.  Undirected CC
+        siblings keep their own overlays and are untouched here: they are
+        derived state, cheap to keep (per-node compaction still folds their
+        deltas) and rebuilt from the primary on replace/restore anyway.
+
+        Returns one summary dict per rebased base (``generation``,
+        ``garbage_bits`` reclaimed, new ``epoch``; sharded summaries name
+        their ``shard``).  Raises :class:`KeyError` for unknown names and
+        :class:`RuntimeError` for process-backed sharded entries.
+        """
+        entry = self.resolve(name, config)
+        if entry.executor is not None:
+            shards = [shard] if shard is not None else range(entry.executor.num_shards)
+            reports = []
+            for index in shards:
+                reports.append(entry.executor.rebase_shard(index))
+                self.encode_calls += 1
+            return reports
+        assert entry.overlay is not None and entry.plan_cache is not None
+        old = entry.overlay
+        reclaimed = old.garbage_bits
+        merged = [old.neighbors(node) for node in range(old.num_nodes)]
+        cgr = CGRGraph.from_adjacency(
+            merged, entry.config.effective_cgr_config()
+        )
+        overlay = DeltaOverlay(cgr, policy=self.compaction_policy)
+        overlay.epoch = old.epoch + 1
+        overlay.updates_applied = old.updates_applied
+        overlay.updates_ignored = old.updates_ignored
+        overlay.compactions = old.compactions
+        entry.plan_cache.clear()
+        engine = GCGTEngine(
+            overlay, device=self.device, config=entry.config,
+            plan_cache=entry.plan_cache,
+        )
+        entry.cgr = cgr
+        entry.overlay = overlay
+        entry.engine = engine
+        entry.base_generation += 1
+        self.encode_calls += 1
+        return [{
+            "shard": None,
+            "generation": entry.base_generation,
+            "garbage_bits": reclaimed,
+            "epoch": overlay.epoch,
+        }]
+
     # -- persistence ----------------------------------------------------------
 
     def snapshot(
@@ -612,13 +691,19 @@ class GraphRegistry:
         bit for bit, and an Iceberg-style manifest (see
         :mod:`repro.store.snapshot` and ``docs/FORMAT.md``).  The entry is
         resolved like :meth:`resolve`; undirected CC siblings are derived
-        state and are rebuilt lazily after a restore.  Returns the manifest
-        path.  Sharded entries must run on the ``inline`` or ``thread``
-        backend (process workers' overlay state is not capturable).
+        state and are rebuilt lazily after a restore.  The manifest records
+        the name's current logical epoch, which is where a CDC follower
+        restored from this snapshot resumes the change stream.  Returns the
+        manifest path.  Sharded entries must run on the ``inline`` or
+        ``thread`` backend (process workers' overlay state is not
+        capturable).
         """
         from repro.store.snapshot import write_snapshot
 
-        return write_snapshot(self.resolve(name, config), directory)
+        return write_snapshot(
+            self.resolve(name, config), directory,
+            logical_epoch=self.logical_epoch(name),
+        )
 
     def restore(
         self,
@@ -666,6 +751,13 @@ class GraphRegistry:
             manifest=manifest,
         )
         self._entries[key] = entry
+        # Resume the name's logical clock at the snapshot's position so a
+        # restored primary's future CDC records continue the stream the
+        # snapshot cut (never moving the clock backwards if an entry for
+        # the name already advanced it).
+        self._logical_epochs[key[0]] = max(
+            self.logical_epoch(key[0]), manifest["logical_epoch"]
+        )
         return entry
 
     # -- lookup ---------------------------------------------------------------

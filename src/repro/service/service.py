@@ -151,6 +151,9 @@ class TraversalService:
         self.tracer = self.telemetry.tracer
         self.views.tracer = self.tracer
         self.queries_served = 0
+        #: The maintenance scheduler once :meth:`enable_maintenance` ran
+        #: (``None`` until then); hosts drive it via ``tick()`` when idle.
+        self.maintenance = None
         # Serializes serving against updates/registration so concurrent
         # callers (e.g. front-door dispatchers vs a writer thread) each see
         # one consistent overlay epoch per query.  Reentrant: view
@@ -414,6 +417,137 @@ class TraversalService:
             )
             self._instrument_entry(entry)
             return entry
+
+    # -- lifecycle maintenance -------------------------------------------------
+
+    def compact_graph(
+        self,
+        name: str,
+        config: GCGTConfig | None = None,
+        budget: int | None = None,
+        should_yield: Callable[[], bool] | None = None,
+    ) -> int:
+        """Fold pending per-node deltas of ``name`` back into CGR form.
+
+        The incremental maintenance step: up to ``budget`` dirty nodes
+        (unbounded when ``None``) are compacted **largest delta first** --
+        the ordering that reclaims the most decode work per re-encode --
+        across every overlay backing the entry, sharded per-shard overlays
+        and the lazily-built undirected sibling included.  Each compacted
+        node's cached plan is invalidated in its owning cache.
+
+        The service lock is taken *per node*, never for the whole pass, so
+        a concurrent reader waits for at most one node's re-encode;
+        ``should_yield`` is polled between nodes and ends the pass early
+        (remaining work is simply picked up by a later tick).  Returns the
+        number of nodes folded.
+        """
+        with self.tracer.span("maintenance.compact", graph=name) as span:
+            with self._lock:
+                entry = self.registry.resolve(name, config)
+                pairs = list(
+                    zip(entry.all_overlays(), entry.all_plan_caches())
+                )
+                if entry.undirected is not None:
+                    pairs.extend(
+                        zip(
+                            entry.undirected.all_overlays(),
+                            entry.undirected.all_plan_caches(),
+                        )
+                    )
+                work = sorted(
+                    (
+                        (overlay.delta_size(node), node, overlay, cache)
+                        for overlay, cache in pairs
+                        for node in overlay.dirty_nodes()
+                    ),
+                    key=lambda item: (-item[0], item[1]),
+                )
+            compacted = 0
+            for _, node, overlay, cache in work:
+                if budget is not None and compacted >= budget:
+                    break
+                if should_yield is not None and should_yield():
+                    break
+                with self._lock:
+                    # The node may have been compacted (or its overlay
+                    # rebased away) since the work list was built; compact
+                    # reports a clean node as a no-op.
+                    if overlay.compact(node):
+                        cache.invalidate(node)
+                        compacted += 1
+            if span.recording:
+                span.annotate(compacted=compacted, dirty=len(work))
+        return compacted
+
+    def rebase_graph(
+        self,
+        name: str,
+        config: GCGTConfig | None = None,
+        shard: int | None = None,
+    ) -> list[dict]:
+        """Fold ``name``'s overlay state into fresh frozen base encode(s).
+
+        The service-locked form of :meth:`~repro.service.GraphRegistry.
+        rebase`: answers and topology are unchanged, garbage bits drop to
+        zero, the base generation advances (the next snapshot writes a new
+        ``base-gen-<g>.cgr``).  Pass ``shard`` to rebase one shard of a
+        sharded entry -- the bounded-pause form the maintenance scheduler
+        uses.  Returns one summary dict per rebased base.
+        """
+        with self.tracer.span(
+            "maintenance.rebase", graph=name, shard=shard
+        ) as span:
+            with self._lock:
+                reports = self.registry.rebase(name, config, shard=shard)
+                # Rebase keeps cache and executor objects (counters and
+                # tracer wiring survive); the swapped-in engine reads
+                # through them, so no re-instrumentation is needed.
+            if span.recording:
+                span.annotate(
+                    rebased=len(reports),
+                    garbage_bits=sum(r["garbage_bits"] for r in reports),
+                )
+        return reports
+
+    def start_cdc_export(self, name: str, path):
+        """Export ``name``'s delta stream to an append-only CDC log.
+
+        Durable change-data-capture: every effective update batch applied
+        to ``name`` from now on is appended to ``path`` as one framed,
+        CRC-checked record (see :mod:`repro.lifecycle.cdc` and
+        ``docs/FORMAT.md``).  A :class:`~repro.lifecycle.FollowerReplica`
+        restored from any snapshot of ``name`` tails that log to serve
+        bit-identical answers.  Returns the writer (exposing
+        ``records_written``); raises :class:`KeyError` for unknown names.
+        """
+        # Imported lazily: the service layer must not depend on lifecycle
+        # at import time (lifecycle builds on the service for followers).
+        from repro.lifecycle.cdc import CDCWriter
+
+        with self._lock:
+            self.registry.resolve(name)
+            writer = CDCWriter(path, name)
+            self.registry.subscribe(writer)
+        return writer
+
+    def enable_maintenance(self, config=None, directory=None):
+        """Stand up the background maintenance scheduler for this service.
+
+        Builds a :class:`~repro.lifecycle.MaintenanceScheduler` (compaction
+        / rebase / snapshot+GC in bounded ticks, see
+        :mod:`repro.lifecycle.maintenance`), remembers it as
+        ``self.maintenance`` and returns it.  The scheduler is driven, not
+        threaded: hosts call ``tick()`` when idle -- the front door does so
+        automatically between request waves once
+        :meth:`~repro.server.FrontDoor.attach_maintenance` is wired.
+        """
+        from repro.lifecycle.maintenance import MaintenanceScheduler
+
+        self.maintenance = MaintenanceScheduler(
+            self, config=config, directory=directory
+        )
+        return self.maintenance
 
     # -- serving --------------------------------------------------------------
 

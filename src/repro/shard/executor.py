@@ -437,8 +437,14 @@ class ShardExecutor:
         self.device = device or GPUDevice()
         self.config = config or GCGTConfig()
         self.cache_capacity = cache_capacity
+        self.compaction_policy = compaction_policy or CompactionPolicy()
         self._num_edges = sharded.num_edges
         self._closed = False
+        #: Per-shard base generation: bumped by :meth:`rebase_shard` every
+        #: time a shard's overlay is folded into a fresh base encode, and
+        #: seeded from the manifest on restore.  Snapshot base file names
+        #: derive from it (``shard-<i>-gen-<g>.cgr``).
+        self.base_generations = [0] * sharded.num_shards
 
         # Cumulative exchange / work counters (see ShardCounters).
         self.supersteps = 0
@@ -1146,6 +1152,74 @@ class ShardExecutor:
             self._epoch += 1
         self._num_edges += total.inserted - total.deleted
         return total
+
+    def rebase_shard(self, shard: int) -> dict:
+        """Fold one shard's overlay into a fresh base encode (new generation).
+
+        The shard's merged live adjacency -- base plus side-stream inserts,
+        tombstones dropped -- is re-encoded into a new frozen CGR, a fresh
+        empty overlay is wrapped around it, and the shard's engine is stood
+        up again over the new overlay.  Topology, answers and the live edge
+        count are unchanged; what changes is the storage layout: the side
+        stream's garbage bits are reclaimed and the next snapshot writes a
+        ``shard-<i>-gen-<g>.cgr`` base instead of re-listing the old one.
+
+        The new overlay starts at ``old epoch + 1`` (a rebase is a mutation
+        of the shard's bit-level state, and per-epoch delta file names must
+        never be reused for different content) and carries the old overlay's
+        cumulative counters so service stats stay monotone.  The shard's
+        plan-cache *object* is kept and cleared (resident plans drop as
+        evictions), mirroring :meth:`GraphRegistry.replace`.
+
+        Only the ``inline`` and ``thread`` backends can rebase (process
+        workers' overlay state lives out of reach, exactly like snapshot).
+        Returns a summary dict: shard, new ``generation``, reclaimed
+        ``garbage_bits`` and the new overlay ``epoch``.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self.backend == "process":
+            raise RuntimeError(
+                "cannot rebase a process-backed sharded entry: per-shard "
+                "overlay state lives in worker processes; use the 'inline' "
+                "or 'thread' backend for lifecycle maintenance"
+            )
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        old = self.overlays[shard]
+        reclaimed = old.garbage_bits
+        merged = [old.neighbors(node) for node in range(old.num_nodes)]
+        cgr = CGRGraph.from_adjacency(
+            merged, self.config.effective_cgr_config()
+        )
+        overlay = DeltaOverlay(cgr, policy=self.compaction_policy)
+        overlay.epoch = old.epoch + 1
+        overlay.updates_applied = old.updates_applied
+        overlay.updates_ignored = old.updates_ignored
+        overlay.compactions = old.compactions
+        cache = self.plan_caches[shard]
+        cache.clear()
+        engine = GCGTEngine(
+            overlay, device=self.device, config=self.config, plan_cache=cache
+        )
+        self.sharded.shards[shard] = cgr
+        self.overlays[shard] = overlay
+        self.engines[shard] = engine
+        self.base_generations[shard] += 1
+        # The coordinator epoch names sharded snapshot delta files
+        # (shard-<i>-epoch-<E>.delta); a rebase changes the bit-level state
+        # those files capture, so the epoch must advance or a later snapshot
+        # would rewrite an already-published epoch's delta with new content.
+        self._epoch += 1
+        self._final_live_bits = sum(o.live_bits for o in self.overlays)
+        return {
+            "shard": shard,
+            "generation": self.base_generations[shard],
+            "garbage_bits": reclaimed,
+            "epoch": overlay.epoch,
+        }
 
     # -- materialisation -------------------------------------------------------
 

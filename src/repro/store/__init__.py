@@ -55,11 +55,13 @@ from repro.store.format import (
     FORMAT_VERSION,
     StoreError,
     StoreFormatError,
+    StoreTruncationError,
     StoreVersionError,
 )
 from repro.store.snapshot import (
     MANIFEST_VERSION,
     read_manifest,
+    resolve_manifest_path,
     restore_entry,
     write_snapshot,
 )
@@ -70,12 +72,14 @@ __all__ = [
     "MANIFEST_VERSION",
     "StoreError",
     "StoreFormatError",
+    "StoreTruncationError",
     "StoreVersionError",
     "read_delta_file",
     "read_graph_file",
     "read_graph_meta",
     "read_manifest",
     "read_partition_file",
+    "resolve_manifest_path",
     "restore_entry",
     "write_delta_file",
     "write_graph_file",

@@ -30,6 +30,7 @@ corrupt graph.
 
 from __future__ import annotations
 
+import io
 import zlib
 from pathlib import Path
 
@@ -50,6 +51,7 @@ from repro.store.format import (
     write_header,
     write_json_block,
 )
+from repro.store.io import publish_bytes
 
 
 def _word_byte_length(bit_length: int) -> int:
@@ -95,12 +97,15 @@ def write_graph_file(path: str | Path, cgr: CGRGraph) -> Path:
         "offsets_crc32": zlib.crc32(offsets_bytes) & 0xFFFFFFFF,
         "payload_crc32": zlib.crc32(payload_bytes) & 0xFFFFFFFF,
     }
-    with path.open("wb") as handle:
-        write_header(handle, MAGIC_GRAPH)
-        write_json_block(handle, meta)
-        write_block(handle, offsets_bytes)
-        write_block(handle, payload_bytes)
-    return path
+    buffer = io.BytesIO()
+    write_header(buffer, MAGIC_GRAPH)
+    write_json_block(buffer, meta)
+    write_block(buffer, offsets_bytes)
+    write_block(buffer, payload_bytes)
+    # Published atomically (temp write + fsync + rename, see
+    # repro.store.io): a crash mid-write can never leave a torn graph file
+    # under the final name.
+    return publish_bytes(path, buffer.getvalue())
 
 
 def graph_fingerprint(cgr: CGRGraph) -> dict:
@@ -235,11 +240,11 @@ def write_delta_file(path: str | Path, overlay: DeltaOverlay) -> Path:
     path = Path(path)
     state = overlay.state_dict()
     meta = {"kind": "delta", "state": state}
-    with path.open("wb") as handle:
-        write_header(handle, MAGIC_DELTA)
-        write_json_block(handle, meta)
-        write_block(handle, overlay.side_stream.to_word_bytes())
-    return path
+    buffer = io.BytesIO()
+    write_header(buffer, MAGIC_DELTA)
+    write_json_block(buffer, meta)
+    write_block(buffer, overlay.side_stream.to_word_bytes())
+    return publish_bytes(path, buffer.getvalue())
 
 
 def read_delta_file(
@@ -297,11 +302,11 @@ def write_partition_file(
         "num_shards": int(num_shards),
         "num_nodes": int(len(assignment)),
     }
-    with path.open("wb") as handle:
-        write_header(handle, MAGIC_PARTITION)
-        write_json_block(handle, meta)
-        write_block(handle, assignment.tobytes())
-    return path
+    buffer = io.BytesIO()
+    write_header(buffer, MAGIC_PARTITION)
+    write_json_block(buffer, meta)
+    write_block(buffer, assignment.tobytes())
+    return publish_bytes(path, buffer.getvalue())
 
 
 def read_partition_file(path: str | Path) -> tuple[np.ndarray, int]:

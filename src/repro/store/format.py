@@ -36,6 +36,8 @@ MAGIC_GRAPH = b"CGRSTOR1"
 MAGIC_DELTA = b"CGRDELT1"
 #: Magic of a partition file: a sharded entry's node-to-shard assignment.
 MAGIC_PARTITION = b"CGRPART1"
+#: Magic of a CDC log: an append-only stream of framed delta records.
+MAGIC_CDC = b"CGRCDC01"
 
 #: Current (and only) revision of the container layout.
 FORMAT_VERSION = 1
@@ -57,6 +59,16 @@ class StoreFormatError(StoreError):
 
 class StoreVersionError(StoreError):
     """The file is well-formed but written by an unsupported format version."""
+
+
+class StoreTruncationError(StoreFormatError):
+    """The file ends before a declared structure is complete.
+
+    Distinguished from other format errors because an append-only log (the
+    CDC stream) treats truncation *at the tail* as a torn final append --
+    recoverable by ignoring the partial frame -- while a checksum mismatch
+    or bad magic is always corruption.
+    """
 
 
 def write_header(handle: BinaryIO, magic: bytes) -> None:
@@ -99,7 +111,7 @@ class BlockReader:
         """The next ``count`` bytes, or :class:`StoreFormatError` on truncation."""
         end = self._offset + count
         if end > self._view.nbytes:
-            raise StoreFormatError(
+            raise StoreTruncationError(
                 f"{self.path}: truncated file -- needed {count} bytes for "
                 f"{what} at offset {self._offset}, only "
                 f"{self._view.nbytes - self._offset} remain"
@@ -156,6 +168,16 @@ class BlockReader:
             )
         return document
 
+    @property
+    def at_end(self) -> bool:
+        """Whether every byte of the file image has been consumed."""
+        return self._offset >= self._view.nbytes
+
+    @property
+    def offset(self) -> int:
+        """The reader's current absolute byte offset into the file image."""
+        return self._offset
+
     def expect_end(self) -> None:
         """Raise :class:`StoreFormatError` on trailing bytes after the last block."""
         remaining = self._view.nbytes - self._offset
@@ -169,11 +191,13 @@ class BlockReader:
 __all__ = [
     "BlockReader",
     "FORMAT_VERSION",
+    "MAGIC_CDC",
     "MAGIC_DELTA",
     "MAGIC_GRAPH",
     "MAGIC_PARTITION",
     "StoreError",
     "StoreFormatError",
+    "StoreTruncationError",
     "StoreVersionError",
     "write_block",
     "write_header",

@@ -1,0 +1,149 @@
+"""Fault-injectable filesystem mutation layer of the persistent store.
+
+Every byte the store (and the lifecycle operations built on it) puts on --
+or removes from -- disk flows through the four primitives here:
+:func:`publish_bytes` (write-aside + fsync + atomic rename),
+:func:`append_bytes` (append + flush + fsync, the CDC log's discipline),
+:func:`replace_file` (the manifest pointer swap) and :func:`remove_file`
+(retention GC).  Routing all mutations through one choke point is what makes
+the crash-consistency harness possible: a test installs a *fault hook* with
+:func:`set_fault_hook` and the hook is invoked at every mutation boundary --
+before the write, before the fsync, before the rename, before the unlink --
+with enough context to simulate a process crash (raise), a torn write
+(persist a prefix of the payload, then raise) or a duplicated replay.
+
+The hook protocol is a single callable ``hook(op, path, payload)``:
+
+* ``op`` is one of :data:`MUTATION_OPS` (``"write"``, ``"fsync"``,
+  ``"rename"``, ``"append"``, ``"remove"``);
+* ``path`` is the affected path (the *destination* for renames);
+* ``payload`` is the bytes about to be persisted (``None`` for renames,
+  fsyncs of already-written data, and removals).
+
+If the hook returns normally the operation proceeds; if it raises, the
+operation does not happen (anything the hook itself wrote -- e.g. a torn
+prefix -- stays on disk, exactly like a kernel flushing half a page before
+power loss).  Production code never installs a hook; the default is
+``None`` and costs one attribute read per boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Optional
+
+#: Operations a fault hook observes, one per mutation boundary.
+MUTATION_OPS = ("write", "fsync", "rename", "append", "remove")
+
+#: The installed fault hook, or ``None`` (the production default).
+_fault_hook: Optional[Callable[[str, Path, Optional[bytes]], None]] = None
+
+
+def set_fault_hook(
+    hook: Optional[Callable[[str, Path, Optional[bytes]], None]],
+) -> Optional[Callable[[str, Path, Optional[bytes]], None]]:
+    """Install ``hook`` at every mutation boundary; returns the previous hook.
+
+    Pass ``None`` to uninstall.  Tests must restore the previous hook in a
+    ``finally`` block (see the ``FaultInjectingDirectory`` fixture in
+    ``tests/lifecycle_harness.py``); the hook is process-global.
+    """
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    return previous
+
+
+def _signal(op: str, path: Path, payload: Optional[bytes]) -> None:
+    """Invoke the installed fault hook, if any, at one mutation boundary."""
+    hook = _fault_hook
+    if hook is not None:
+        hook(op, path, payload)
+
+
+def tmp_name(path: Path) -> Path:
+    """The write-aside temp name :func:`publish_bytes` stages ``path`` under."""
+    return path.with_name(path.name + ".tmp")
+
+
+def publish_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically publish ``data`` as ``path``: temp write, fsync, rename.
+
+    The payload is written to a same-directory temp file
+    (:func:`tmp_name`), flushed and fsynced, then renamed over ``path`` --
+    so a crash at any boundary leaves either the old content (or no file)
+    plus at most a ``*.tmp`` stray, never a torn ``path``.  Readers ignore
+    temp strays; retention GC removes them.
+    """
+    path = Path(path)
+    tmp = tmp_name(path)
+    _signal("write", tmp, bytes(data))
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        _signal("fsync", tmp, None)
+        os.fsync(handle.fileno())
+    _signal("rename", path, None)
+    os.replace(tmp, path)
+    return path
+
+
+def publish_text(path: str | Path, text: str) -> Path:
+    """:func:`publish_bytes` for UTF-8 text (manifests, tags)."""
+    return publish_bytes(path, text.encode("utf-8"))
+
+
+def append_bytes(path: str | Path, data: bytes) -> Path:
+    """Durably append ``data`` to ``path`` (created if absent).
+
+    One ``append`` boundary before the write and one ``fsync`` boundary
+    before the sync; a crash between them can leave a torn tail frame,
+    which CDC readers detect (CRC/length framing) and treat as
+    end-of-stream.
+    """
+    path = Path(path)
+    _signal("append", path, bytes(data))
+    with open(path, "ab") as handle:
+        handle.write(data)
+        handle.flush()
+        _signal("fsync", path, None)
+        os.fsync(handle.fileno())
+    return path
+
+
+def replace_file(source: str | Path, target: str | Path) -> None:
+    """Atomically rename ``source`` over ``target`` (one boundary)."""
+    source, target = Path(source), Path(target)
+    _signal("rename", target, None)
+    os.replace(source, target)
+
+
+def remove_file(path: str | Path, missing_ok: bool = False) -> bool:
+    """Unlink ``path`` (one ``remove`` boundary); returns whether it existed.
+
+    Retention GC's only deletion primitive, so a fault hook observes every
+    file GC would destroy *before* it is gone -- the harness asserts no
+    reachable file ever reaches this boundary.
+    """
+    path = Path(path)
+    _signal("remove", path, None)
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        if missing_ok:
+            return False
+        raise
+    return True
+
+
+__all__ = [
+    "MUTATION_OPS",
+    "append_bytes",
+    "publish_bytes",
+    "publish_text",
+    "remove_file",
+    "replace_file",
+    "set_fault_hook",
+    "tmp_name",
+]

@@ -34,7 +34,6 @@ the service that wrote the snapshot.  The registry fronts both
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -59,12 +58,21 @@ from repro.store.files import (
     write_partition_file,
 )
 from repro.store.format import StoreError, StoreFormatError
+from repro.store.io import publish_text
 
 if TYPE_CHECKING:  # imported lazily at run time (registry <-> shard layering)
     from repro.shard.executor import ShardExecutor
 
 #: Revision of the manifest schema (independent of the binary file version).
-MANIFEST_VERSION = 1
+#: Revision 2 adds lifecycle fields: ``logical_epoch`` (the registry's
+#: count of effective update batches, which CDC followers resume from) and
+#: ``base_generation`` (per base file, bumped by overlay-to-base
+#: compaction so rebased epochs get fresh immutable base files).
+MANIFEST_VERSION = 2
+
+#: Manifest revisions this reader understands.  Revision-1 manifests
+#: (pre-lifecycle) load with ``logical_epoch`` 0 and generation-0 bases.
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 #: The ``kind`` field every manifest must carry.
 MANIFEST_KIND = "cgr-snapshot"
@@ -72,6 +80,28 @@ MANIFEST_KIND = "cgr-snapshot"
 #: File names inside a snapshot directory.
 MANIFEST_NAME = "manifest.json"
 PARTITION_NAME = "partition.bin"
+
+
+def base_file_name(generation: int, shard: int | None = None) -> str:
+    """The immutable base file name for one base generation.
+
+    Generation 0 keeps the original names (``base.cgr`` /
+    ``shard-<i>.cgr``); every overlay-to-base compaction bumps the
+    generation and writes a fresh ``…-gen-<g>.cgr`` alongside, leaving
+    earlier generations in place for the epochs that still reference them
+    (retention GC deletes a generation once no manifest or tag reaches it).
+    """
+    stem = "base" if shard is None else f"shard-{shard}"
+    if generation == 0:
+        return f"{stem}.cgr"
+    return f"{stem}-gen-{generation}.cgr"
+
+
+def delta_file_name(epoch: int, shard: int | None = None) -> str:
+    """The per-epoch delta file name (``epoch-<E>.delta`` and friends)."""
+    if shard is None:
+        return f"epoch-{epoch}.delta"
+    return f"shard-{shard}-epoch-{epoch}.delta"
 
 
 def engine_config_to_dict(config: GCGTConfig) -> dict:
@@ -118,10 +148,10 @@ def read_manifest(path: str | Path) -> dict:
         raise StoreFormatError(
             f"{path}: not a snapshot manifest (kind must be {MANIFEST_KIND!r})"
         )
-    if manifest.get("manifest_version") != MANIFEST_VERSION:
+    if manifest.get("manifest_version") not in SUPPORTED_MANIFEST_VERSIONS:
         raise StoreFormatError(
             f"{path}: manifest version {manifest.get('manifest_version')!r} "
-            f"is not supported (expected {MANIFEST_VERSION})"
+            f"is not supported (expected one of {SUPPORTED_MANIFEST_VERSIONS})"
         )
     required = _MANIFEST_REQUIRED
     if manifest.get("sharded"):
@@ -141,6 +171,18 @@ def read_manifest(path: str | Path) -> dict:
         raise StoreFormatError(
             f"{path}: manifest declares {manifest['shards']} shard(s) but "
             f"lists {len(manifest['base_files'])} base file(s)"
+        )
+    # Normalize the revision-2 lifecycle fields so every caller sees them:
+    # revision-1 manifests predate the CDC log (logical epoch 0) and were
+    # always written against generation-0 bases.
+    if manifest.get("logical_epoch") is None:
+        manifest["logical_epoch"] = 0
+    if manifest.get("base_generations") is None:
+        manifest["base_generations"] = [0] * len(manifest["base_files"])
+    if len(manifest["base_generations"]) != len(manifest["base_files"]):
+        raise StoreFormatError(
+            f"{path}: {len(manifest['base_files'])} base file(s) but "
+            f"{len(manifest['base_generations'])} base generation(s)"
         )
     try:
         engine_config_from_dict(manifest["engine_config"])
@@ -168,18 +210,19 @@ def _partitioner_name(partitioner) -> str | None:
     return name if isinstance(name, str) and name in PARTITIONERS else None
 
 
-def _write_base_file(path: Path, cgr) -> None:
+def _write_base_file(path: Path, cgr) -> bool:
     """Write a base graph file, or verify an existing one matches.
 
     Base files are immutable: a snapshot at a later epoch reuses the file
     written by the first snapshot.  If a file is already present it must
     describe the same encode (counts, bit length, encoding parameters);
     anything else means the directory holds a different graph, which is
-    refused rather than silently overwritten.
+    refused rather than silently overwritten.  Returns whether the file
+    was newly written (``False`` when a verified copy already existed).
     """
     if not path.exists():
         write_graph_file(path, cgr)
-        return
+        return True
     meta = read_graph_meta(path)
     fingerprint = graph_fingerprint(cgr)
     if any(meta.get(field) != value for field, value in fingerprint.items()):
@@ -187,9 +230,45 @@ def _write_base_file(path: Path, cgr) -> None:
             f"{path}: existing base file describes a different graph; "
             "refusing to overwrite -- snapshot into a fresh directory"
         )
+    return False
 
 
-def write_snapshot(entry: RegisteredGraph, directory: str | Path) -> Path:
+class _StagedWrites:
+    """Rollback ledger for one :func:`write_snapshot` call.
+
+    Records every file the call *newly created* (pre-existing base files,
+    partition files and epoch deltas are never rolled back) so that an
+    in-process failure mid-sequence can unlink the partial snapshot and
+    leave the directory exactly as it was -- the all-or-nothing guarantee.
+    A process crash skips the rollback, but the pointer-last write order
+    means the stray files are unreferenced and retention GC removes them.
+    """
+
+    def __init__(self) -> None:
+        self.created: list[Path] = []
+
+    def publish(self, path: Path, writer, *args) -> None:
+        """Run ``writer(path, *args)``, recording ``path`` if newly created."""
+        existed = path.exists()
+        writer(path, *args)
+        if not existed:
+            self.created.append(path)
+
+    def rollback(self) -> None:
+        """Best-effort unlink of every newly created file (in-process only)."""
+        import contextlib
+        import os
+
+        for path in reversed(self.created):
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+
+
+def write_snapshot(
+    entry: RegisteredGraph,
+    directory: str | Path,
+    logical_epoch: int = 0,
+) -> Path:
     """Capture one registered entry into ``directory``; returns the manifest.
 
     Base graph files are written on the first snapshot and reused (verified,
@@ -197,6 +276,15 @@ def write_snapshot(entry: RegisteredGraph, directory: str | Path) -> Path:
     written for the entry's current epoch.  Undirected CC siblings are
     derived state and are not captured -- a restored entry rebuilds its
     sibling lazily on the first CC query, with identical answers.
+
+    The write is all-or-nothing: files are staged through a rollback ledger
+    and the ``manifest.json`` pointer is swapped last, so an in-process
+    failure unlinks every newly created file (no half-snapshot left behind)
+    and a process crash leaves the old pointer intact with only
+    unreferenced strays for GC.
+
+    ``logical_epoch`` is the registry's effective-batch counter at capture
+    time; a CDC follower resumes the change stream from it.
 
     Sharded entries must run on the ``inline`` or ``thread`` backend: the
     ``process`` backend's overlays live inside worker processes, where their
@@ -210,73 +298,82 @@ def write_snapshot(entry: RegisteredGraph, directory: str | Path) -> Path:
         "kind": MANIFEST_KIND,
         "name": entry.name,
         "epoch": entry.epoch,
+        "logical_epoch": logical_epoch,
         "num_nodes": entry.num_nodes,
         "num_edges": entry.num_edges,
         "engine_config": engine_config_to_dict(entry.config),
         "sharded": entry.is_sharded,
     }
 
-    if entry.is_sharded:
-        executor = entry.executor
-        assert executor is not None and entry.sharded is not None
-        if executor.backend == "process":
-            raise StoreError(
-                "cannot snapshot a process-backed sharded entry: per-shard "
-                "overlay state lives in worker processes; register with the "
-                "'inline' or 'thread' backend to snapshot"
+    staged = _StagedWrites()
+    try:
+        if entry.is_sharded:
+            executor = entry.executor
+            assert executor is not None and entry.sharded is not None
+            if executor.backend == "process":
+                raise StoreError(
+                    "cannot snapshot a process-backed sharded entry: per-shard "
+                    "overlay state lives in worker processes; register with the "
+                    "'inline' or 'thread' backend to snapshot"
+                )
+            epoch = executor.epoch
+            generations = list(executor.base_generations)
+            base_files, delta_files = [], []
+            staged.publish(
+                directory / PARTITION_NAME,
+                write_partition_file,
+                entry.sharded.partition.assignment,
+                entry.sharded.num_shards,
             )
-        epoch = executor.epoch
-        base_files, delta_files = [], []
-        write_partition_file(
-            directory / PARTITION_NAME,
-            entry.sharded.partition.assignment,
-            entry.sharded.num_shards,
+            for shard, overlay in enumerate(executor.overlays):
+                base_name = base_file_name(generations[shard], shard)
+                delta_name = delta_file_name(epoch, shard)
+                staged.publish(
+                    directory / base_name, _write_base_file, overlay.base
+                )
+                staged.publish(directory / delta_name, write_delta_file, overlay)
+                base_files.append(base_name)
+                delta_files.append(delta_name)
+            manifest.update({
+                "shards": entry.sharded.num_shards,
+                "partitioner": _partitioner_name(entry.partitioner),
+                "partition_file": PARTITION_NAME,
+                "base_files": base_files,
+                "delta_files": delta_files,
+                "base_generations": generations,
+            })
+        else:
+            assert entry.overlay is not None and entry.cgr is not None
+            epoch = entry.overlay.epoch
+            generation = entry.base_generation
+            base_name = base_file_name(generation)
+            delta_name = delta_file_name(epoch)
+            staged.publish(directory / base_name, _write_base_file, entry.cgr)
+            staged.publish(directory / delta_name, write_delta_file, entry.overlay)
+            manifest.update({
+                "shards": None,
+                "partitioner": None,
+                "partition_file": None,
+                "base_files": [base_name],
+                "delta_files": [delta_name],
+                "base_generations": [generation],
+            })
+
+        text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        staged.publish(
+            directory / f"manifest-epoch-{manifest['epoch']}.json",
+            publish_text, text,
         )
-        for shard, overlay in enumerate(executor.overlays):
-            base_name = f"shard-{shard}.cgr"
-            delta_name = f"shard-{shard}-epoch-{epoch}.delta"
-            _write_base_file(directory / base_name, overlay.base)
-            write_delta_file(directory / delta_name, overlay)
-            base_files.append(base_name)
-            delta_files.append(delta_name)
-        manifest.update({
-            "shards": entry.sharded.num_shards,
-            "partitioner": _partitioner_name(entry.partitioner),
-            "partition_file": PARTITION_NAME,
-            "base_files": base_files,
-            "delta_files": delta_files,
-        })
-    else:
-        assert entry.overlay is not None and entry.cgr is not None
-        epoch = entry.overlay.epoch
-        base_name, delta_name = "base.cgr", f"epoch-{epoch}.delta"
-        _write_base_file(directory / base_name, entry.cgr)
-        write_delta_file(directory / delta_name, entry.overlay)
-        manifest.update({
-            "shards": None,
-            "partitioner": None,
-            "partition_file": None,
-            "base_files": [base_name],
-            "delta_files": [delta_name],
-        })
-
-    text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-    _atomic_write_text(
-        directory / f"manifest-epoch-{manifest['epoch']}.json", text
-    )
-    pointer = directory / MANIFEST_NAME
-    # The pointer swap must be atomic (write-aside + rename): a crash during
-    # a later snapshot must never leave an intact directory with a torn
-    # manifest.json -- the Iceberg pointer-commit discipline.
-    _atomic_write_text(pointer, text)
+        pointer = directory / MANIFEST_NAME
+        # The pointer swap must be atomic (write-aside + rename) and LAST: a
+        # crash at any earlier boundary must never leave manifest.json
+        # referencing files that were not yet durable -- the Iceberg
+        # pointer-commit discipline.
+        publish_text(pointer, text)
+    except BaseException:
+        staged.rollback()
+        raise
     return pointer
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory temp file + rename."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
 
 
 def resolve_manifest_path(location: str | Path) -> Path:
@@ -366,6 +463,7 @@ def _restore_unsharded(
         overlay=overlay,
         engine=engine,
         plan_cache=plan_cache,
+        base_generation=manifest["base_generations"][0],
         _csr=CSRGraph.from_graph(graph),
     )
 
@@ -422,6 +520,7 @@ def _restore_sharded(
         overlays=overlays,
         initial_epoch=manifest["epoch"],
     )
+    executor.base_generations = list(manifest["base_generations"])
     return RegisteredGraph(
         name=manifest["name"],
         graph=graph,
@@ -452,6 +551,10 @@ __all__ = [
     "MANIFEST_KIND",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
+    "PARTITION_NAME",
+    "SUPPORTED_MANIFEST_VERSIONS",
+    "base_file_name",
+    "delta_file_name",
     "engine_config_from_dict",
     "engine_config_to_dict",
     "read_manifest",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -18,6 +19,34 @@ from repro.graph.generators import (  # noqa: E402
     web_locality_graph,
 )
 from repro.graph.graph import Graph  # noqa: E402
+
+# Hypothesis profiles for the lifecycle fuzz (tests/test_lifecycle_fuzz.py).
+# ``lifecycle-dev`` keeps local runs quick; ``lifecycle-ci`` is derandomized
+# so CI failures reproduce exactly.  Select with HYPOTHESIS_PROFILE.
+try:  # hypothesis is an optional test dependency
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    _suppressed = [HealthCheck.too_slow, HealthCheck.data_too_large]
+    _hyp_settings.register_profile(
+        "lifecycle-dev",
+        max_examples=15,
+        stateful_step_count=25,
+        deadline=None,
+        suppress_health_check=_suppressed,
+    )
+    _hyp_settings.register_profile(
+        "lifecycle-ci",
+        max_examples=30,
+        stateful_step_count=40,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=_suppressed,
+    )
+    _hyp_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "lifecycle-dev")
+    )
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pass
 
 
 @pytest.fixture

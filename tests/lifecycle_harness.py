@@ -1,0 +1,183 @@
+"""Crash/fault-injection harness for the snapshot lifecycle suites.
+
+Built on the store's single mutation choke point
+(:func:`repro.store.io.set_fault_hook`): every byte the store writes,
+fsyncs, renames, appends or removes passes a hook boundary, so a test can
+
+1. **enumerate** every mutation point an operation performs
+   (:meth:`FaultInjectingDirectory.mutation_points`), then
+2. **re-run the operation once per point**, killing it at exactly that
+   boundary (:meth:`FaultInjectingDirectory.run_crashing`), optionally
+   tearing the in-flight payload first (``mode="torn"``), and
+3. assert on the **instant-of-death directory state**: the hook snapshots
+   every file's bytes immediately before raising
+   (:attr:`FaultInjectingDirectory.captured`), so assertions see the disk
+   exactly as a power loss would have left it -- even though the process
+   survives and in-process cleanup (e.g. ``write_snapshot``'s
+   all-or-nothing rollback) runs afterwards.  Materialize the capture into
+   a fresh directory (:meth:`FaultInjectingDirectory.materialize`) and
+   restore from it to prove crash consistency.
+
+:class:`SimulatedCrash` derives from :class:`BaseException` on purpose:
+production ``except Exception`` blocks must never swallow a simulated
+power loss (deliberate ``BaseException`` handlers, like the snapshot
+rollback, still observe it and re-raise).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.store.io import set_fault_hook
+
+#: A mutation point: ``(op, path)`` as the fault hook observed it.
+MutationPoint = tuple[str, Path]
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death at one mutation boundary."""
+
+
+class FaultInjectingDirectory:
+    """Fault-injection driver scoped to one snapshot directory.
+
+    Not a filesystem wrapper: the store mutates the real directory, and
+    this class installs/uninstalls process-global fault hooks around the
+    operations under test (always restoring the previous hook, so nested
+    or leaked hooks cannot poison later tests).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        #: Mutation points of the last :meth:`mutation_points` run.
+        self.events: list[MutationPoint] = []
+        #: Instant-of-death file state of the last injected crash,
+        #: ``{relative_path: bytes}``.
+        self.captured: dict[str, bytes] | None = None
+
+    # -- enumeration -----------------------------------------------------------
+
+    def mutation_points(self, operation: Callable[[], object]) -> list[MutationPoint]:
+        """Run ``operation`` recording (not perturbing) every boundary."""
+        events: list[MutationPoint] = []
+
+        def hook(op: str, path: Path, payload: bytes | None) -> None:
+            events.append((op, Path(path)))
+
+        previous = set_fault_hook(hook)
+        try:
+            operation()
+        finally:
+            set_fault_hook(previous)
+        self.events = events
+        return events
+
+    # -- crash injection -------------------------------------------------------
+
+    @contextlib.contextmanager
+    def crash_at(self, index: int, mode: str = "before") -> Iterator[None]:
+        """Raise :class:`SimulatedCrash` at the ``index``-th mutation boundary.
+
+        ``mode="before"`` kills with the operation not performed (a crash
+        between syscalls); ``mode="torn"`` first persists a prefix of the
+        in-flight payload -- half the bytes, at least one -- exactly like a
+        kernel flushing part of a page before power loss (only meaningful
+        at ``write``/``append`` boundaries; elsewhere it degrades to
+        ``before``).  The instant-of-death directory state is captured into
+        :attr:`captured` before raising.
+        """
+        if mode not in ("before", "torn"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        counter = {"next": 0}
+
+        def hook(op: str, path: Path, payload: bytes | None) -> None:
+            point = counter["next"]
+            counter["next"] += 1
+            if point != index:
+                return
+            if mode == "torn" and op in ("write", "append") and payload:
+                flags = "ab" if op == "append" else "wb"
+                with open(path, flags) as handle:
+                    handle.write(payload[: max(1, len(payload) // 2)])
+            self.captured = self._capture()
+            raise SimulatedCrash(
+                f"injected crash at mutation {point}: {mode} {op} {path.name}"
+            )
+
+        previous = set_fault_hook(hook)
+        try:
+            yield
+        finally:
+            set_fault_hook(previous)
+
+    def run_crashing(
+        self, index: int, operation: Callable[[], object], mode: str = "before"
+    ) -> bool:
+        """Run ``operation`` with a crash injected at boundary ``index``.
+
+        Returns whether the crash actually fired (``False`` means the
+        operation performed fewer than ``index + 1`` mutations this run --
+        legitimate when an earlier injected state changed its code path).
+        """
+        self.captured = None
+        try:
+            with self.crash_at(index, mode):
+                operation()
+        except SimulatedCrash:
+            return True
+        return False
+
+    # -- guards ----------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def forbid_removal_of(self, names: set[str]) -> Iterator[None]:
+        """Fail the test if any file in ``names`` reaches a remove boundary.
+
+        The GC-reachability guard: wrap a :func:`~repro.lifecycle.
+        collect_garbage` call and every reachable base/delta/partition file
+        is provably never deleted -- the assertion fires *before* the
+        unlink, so a buggy GC cannot destroy evidence.
+        """
+
+        def hook(op: str, path: Path, payload: bytes | None) -> None:
+            if op == "remove" and Path(path).name in names:
+                raise AssertionError(
+                    f"GC attempted to delete reachable file {path}"
+                )
+
+        previous = set_fault_hook(hook)
+        try:
+            yield
+        finally:
+            set_fault_hook(previous)
+
+    # -- instant-of-death state ------------------------------------------------
+
+    def _capture(self) -> dict[str, bytes]:
+        """Every file under the directory, as ``{relative_path: bytes}``."""
+        state: dict[str, bytes] = {}
+        for path in sorted(self.directory.rglob("*")):
+            if path.is_file():
+                state[str(path.relative_to(self.directory))] = path.read_bytes()
+        return state
+
+    def materialize(self, target: str | Path) -> Path:
+        """Recreate the captured instant-of-death state under ``target``.
+
+        The crash-consistency assertion's second half: restoring from the
+        materialized directory must succeed on the pre-crash epoch.
+        """
+        if self.captured is None:
+            raise RuntimeError("no crash has been captured yet")
+        target = Path(target)
+        target.mkdir(parents=True, exist_ok=True)
+        for relative, data in self.captured.items():
+            destination = target / relative
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            destination.write_bytes(data)
+        return target
+
+
+__all__ = ["FaultInjectingDirectory", "MutationPoint", "SimulatedCrash"]

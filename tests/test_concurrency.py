@@ -223,3 +223,146 @@ def test_wide_bfs_group_pins_one_epoch_under_writer_pressure():
         thread.join(timeout=120)
     assert not failures, failures[:5]
     service.close()
+
+
+@pytest.mark.parametrize("sharded", [False, True], ids=["unsharded", "sharded"])
+def test_reads_stay_whole_while_background_compaction_races(sharded):
+    """An update writer AND a compacting maintainer race the readers.
+
+    Compaction folds deltas into fresh side-stream extents -- it rewrites
+    the physical layout but never the adjacency, so every whole state a
+    reader can observe answers identically to one of the batch-boundary
+    oracle states.  Each concurrent answer set must match one of them
+    exactly (a torn read matches none), and the matched state may never
+    move backwards within a reader.
+    """
+    graph = web_locality_graph(180, avg_degree=7.0, seed=9)
+    batches = _update_batches(graph, count=8, seed=33)
+    oracle = _build_oracle(graph, batches, sharded)
+    oracle_states = [oracle[epoch] for epoch in sorted(oracle)]
+
+    service = TraversalService()
+    _register(service, graph, sharded)
+    failures: list[str] = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for batch in batches:
+                service.apply_updates("g", batch)
+        except Exception as error:  # pragma: no cover - fails the test below
+            failures.append(f"writer raised: {error!r}")
+        finally:
+            done.set()
+
+    def maintainer():
+        try:
+            while True:
+                finished = done.is_set()
+                service.compact_graph("g", budget=6)
+                if finished:
+                    return
+        except Exception as error:  # pragma: no cover - fails the test below
+            failures.append(f"maintainer raised: {error!r}")
+
+    def reader(reader_id):
+        last_state = 0
+        try:
+            while True:
+                finished = done.is_set()
+                answers = _answers(service)
+                matches = [
+                    index
+                    for index, expected in enumerate(oracle_states)
+                    if all(
+                        np.array_equal(answers[key], expected[key])
+                        for key in expected
+                    )
+                ]
+                if not matches:
+                    failures.append(
+                        f"reader {reader_id}: answers match no whole "
+                        f"batch-boundary state (torn read)"
+                    )
+                elif matches[-1] < last_state:
+                    failures.append(
+                        f"reader {reader_id}: observed state regressed "
+                        f"from {last_state} to {matches[-1]}"
+                    )
+                else:
+                    last_state = matches[-1]
+                if finished:
+                    return
+        except Exception as error:  # pragma: no cover - fails the test below
+            failures.append(f"reader {reader_id} raised: {error!r}")
+
+    threads = [threading.Thread(target=writer), threading.Thread(target=maintainer)]
+    threads += [
+        threading.Thread(target=reader, args=(reader_id,))
+        for reader_id in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not failures, failures[:5]
+    # after the dust settles the service still matches the final oracle state
+    final = _answers(service)
+    for key, expected in oracle_states[-1].items():
+        assert np.array_equal(final[key], expected)
+    service.close()
+
+
+def test_compaction_pass_interleaves_reads_between_nodes():
+    """A long compaction pass must not block readers for its duration.
+
+    ``compact_graph`` takes the service lock per *node*, not per pass; the
+    ``should_yield`` poll runs between nodes with the lock released.  A
+    reader thread hammering BFS during one big pass must therefore complete
+    reads *while the pass is in flight* -- the completed-read counter,
+    sampled at each inter-node poll, has to advance between the first and
+    last poll of the pass.
+    """
+    import time
+
+    graph = web_locality_graph(180, avg_degree=7.0, seed=9)
+    service = TraversalService()
+    _register(service, graph, sharded=False)
+    # dirty many nodes so the pass has real length
+    batch = [
+        EdgeUpdate.insert(node, (node * 7 + 1) % graph.num_nodes)
+        for node in range(120)
+    ]
+    service.apply_updates("g", batch)
+
+    reads_done = [0]
+    sampled: list[int] = []
+    stop = threading.Event()
+    started = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            service.submit([BFSQuery("g", 0)])
+            reads_done[0] += 1
+            started.set()
+
+    def should_yield() -> bool:
+        sampled.append(reads_done[0])
+        time.sleep(0.002)  # slow maintenance cadence; the lock is free here
+        return False
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        assert started.wait(timeout=30)
+        compacted = service.compact_graph("g", should_yield=should_yield)
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+    assert compacted >= 100
+    assert len(sampled) >= compacted
+    assert sampled[-1] > sampled[0], (
+        "no reads completed while the compaction pass was in flight -- "
+        "the pass is holding the service lock across nodes"
+    )
+    service.close()

@@ -1,0 +1,363 @@
+"""Crash-consistency tests: kill the store at every mutation boundary.
+
+The satellite the lifecycle harness exists for: enumerate **every**
+filesystem mutation point of snapshot writes (fresh, incremental-epoch and
+sharded), retention GC and CDC appends, then re-run each operation once per
+point with an injected crash -- plain kill and torn-write variants -- and
+assert the two lifecycle invariants on the instant-of-death state:
+
+1. **Restore succeeds on the pre-crash epoch**: the manifest pointer is
+   never torn, always naming a complete, loadable epoch whose answers are
+   bit-identical to what the writer served before the crash.
+2. **No reachable file dies**: every base/delta/partition file referenced
+   by the surviving pointer (and any tagged epoch) is still present; GC
+   crashes can strand garbage but never take reachable data with them.
+
+Every injected crash also checks the *post-unwind* directory (the state
+after in-process rollback ran), which must satisfy the same invariants --
+an in-process write failure (disk full, EIO) is just a gentler crash.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import BFSQuery, TraversalService
+from repro.graph.graph import Graph
+from repro.lifecycle import (
+    FollowerReplica,
+    RetentionPolicy,
+    collect_garbage,
+    create_tag,
+    list_epoch_manifests,
+    read_cdc_records,
+    resolve_tag,
+)
+from repro.store import read_manifest
+
+from lifecycle_harness import FaultInjectingDirectory
+
+MODES = ["before", "torn"]
+
+
+def _graph(seed: int, nodes: int = 48, edges: int = 180) -> Graph:
+    rng = random.Random(seed)
+    return Graph.from_edges(
+        nodes,
+        [(rng.randrange(nodes), rng.randrange(nodes)) for _ in range(edges)],
+    )
+
+
+def _levels(service, name: str = "g", source: int = 0) -> np.ndarray:
+    [result] = service.submit([BFSQuery(graph=name, source=source)])
+    return np.array(result.value.levels)
+
+
+def _batch(rng: random.Random, nodes: int = 48, size: int = 16) -> list[tuple]:
+    kinds = ("insert", "insert", "insert", "delete")
+    return [
+        (rng.choice(kinds), rng.randrange(nodes), rng.randrange(nodes))
+        for _ in range(size)
+    ]
+
+
+def _assert_restores(directory: Path, expected: np.ndarray, name: str = "g"):
+    """The directory's pointer epoch loads and answers bit-identically."""
+    replica = TraversalService()
+    try:
+        replica.load_graph(directory)
+        assert np.array_equal(_levels(replica, name), expected)
+    finally:
+        replica.close()
+
+
+def _pointer_files(directory: Path) -> set[str]:
+    """Data files the pointer manifest reaches (must survive any crash)."""
+    manifest = read_manifest(directory / "manifest.json")
+    live = set(manifest["base_files"]) | set(manifest["delta_files"])
+    if manifest.get("partition_file"):
+        live.add(manifest["partition_file"])
+    return live
+
+
+class TestFirstSnapshotCrashPoints:
+    """Crash a fresh directory's very first snapshot at every boundary."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_point_leaves_consistent_state(self, tmp_path, mode):
+        service = TraversalService()
+        service.register_graph("g", _graph(71))
+        harness = FaultInjectingDirectory(tmp_path)
+        points = harness.mutation_points(
+            lambda: service.save_graph("g", tmp_path / "probe")
+        )
+        assert len(points) >= 12, "expected >= 4 published files x 3 boundaries"
+        assert points[-1][0] == "rename" and points[-1][1].name == "manifest.json", (
+            "the pointer rename must be the final mutation"
+        )
+        for index in range(len(points)):
+            target = tmp_path / f"case-{mode}-{index}"
+            target.mkdir()
+            case = FaultInjectingDirectory(target)
+            fired = case.run_crashing(
+                index, lambda: service.save_graph("g", target), mode=mode
+            )
+            assert fired, f"crash point {index} never reached"
+            # Instant-of-death state: the pointer commits last, so it can
+            # never exist in a crashed first snapshot -- nothing to restore,
+            # and nothing torn into place (only whole publishes + strays).
+            dead = case.materialize(tmp_path / f"dead-{mode}-{index}")
+            assert not (dead / "manifest.json").exists()
+            # Post-unwind (rollback ran): only write-aside strays may
+            # remain -- the all-or-nothing regression this PR pins.
+            leftovers = [
+                p.name for p in target.iterdir()
+                if not p.name.endswith(".tmp")
+            ]
+            assert leftovers == [], f"stranded files: {leftovers}"
+        service.close()
+
+
+class TestIncrementalSnapshotCrashPoints:
+    """Crash the E2 snapshot of a directory already holding epoch E1."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_point_preserves_prior_epoch(self, tmp_path, mode):
+        rng = random.Random(72)
+        service = TraversalService()
+        service.register_graph("g", _graph(72))
+        pristine = tmp_path / "pristine"
+        service.save_graph("g", pristine)
+        expected = _levels(service)
+        live = _pointer_files(pristine)
+        pointer_bytes = (pristine / "manifest.json").read_bytes()
+        service.apply_updates("g", _batch(rng))
+
+        probe = tmp_path / "probe"
+        shutil.copytree(pristine, probe)
+        harness = FaultInjectingDirectory(probe)
+        points = harness.mutation_points(
+            lambda: service.save_graph("g", probe)
+        )
+        # The shared base already exists: only delta + epoch manifest +
+        # pointer publish (3 files x 3 boundaries).
+        assert len(points) == 9
+
+        for index in range(len(points)):
+            target = tmp_path / f"case-{mode}-{index}"
+            shutil.copytree(pristine, target)
+            case = FaultInjectingDirectory(target)
+            assert case.run_crashing(
+                index, lambda: service.save_graph("g", target), mode=mode
+            )
+            # Instant of death: the pointer still names E1, bit for bit,
+            # and every file E1 reaches is intact.
+            dead = case.materialize(tmp_path / f"dead-{mode}-{index}")
+            assert (dead / "manifest.json").read_bytes() == pointer_bytes
+            for name in live:
+                assert (dead / name).exists(), f"reachable {name} lost"
+            _assert_restores(dead, expected)
+            # Post-unwind: rollback removed this snapshot's new files but
+            # E1 (and its shared base) still restores.
+            assert (target / "manifest.json").read_bytes() == pointer_bytes
+            _assert_restores(target, expected)
+        service.close()
+
+
+class TestShardedSnapshotCrashPoints:
+    def test_every_point_preserves_prior_epoch(self, tmp_path):
+        rng = random.Random(73)
+        service = TraversalService()
+        service.register_graph("g", _graph(73), shards=3)
+        pristine = tmp_path / "pristine"
+        service.save_graph("g", pristine)
+        expected = _levels(service)
+        live = _pointer_files(pristine)
+        service.apply_updates("g", _batch(rng))
+
+        probe = tmp_path / "probe"
+        shutil.copytree(pristine, probe)
+        harness = FaultInjectingDirectory(probe)
+        points = harness.mutation_points(
+            lambda: service.save_graph("g", probe)
+        )
+        # 3 per-shard deltas + the partition file (re-published atomically
+        # every snapshot) + epoch manifest + pointer, 3 boundaries each;
+        # the per-shard bases are shared with E1 and not rewritten.
+        assert len(points) == 18
+        assert not any(
+            path.name.endswith(".cgr.tmp") for _, path in points
+        ), "shared shard bases must not be rewritten"
+
+        for index in range(len(points)):
+            target = tmp_path / f"case-{index}"
+            shutil.copytree(pristine, target)
+            case = FaultInjectingDirectory(target)
+            assert case.run_crashing(
+                index, lambda: service.save_graph("g", target)
+            )
+            dead = case.materialize(tmp_path / f"dead-{index}")
+            for name in live:
+                assert (dead / name).exists(), f"reachable {name} lost"
+            _assert_restores(dead, expected)
+            _assert_restores(target, expected)
+        service.close()
+
+
+class TestPostRebaseSnapshotCrash:
+    """A crashed snapshot after a rebase must not hurt published epochs."""
+
+    def test_prior_generation_survives(self, tmp_path):
+        rng = random.Random(74)
+        service = TraversalService()
+        service.register_graph("g", _graph(74))
+        service.save_graph("g", tmp_path)
+        expected = _levels(service)
+        live = _pointer_files(tmp_path)
+        service.apply_updates("g", _batch(rng))
+        service.rebase_graph("g")
+
+        probe = tmp_path.parent / "rebase-probe"
+        shutil.copytree(tmp_path, probe)
+        points = FaultInjectingDirectory(probe).mutation_points(
+            lambda: service.save_graph("g", probe)
+        )
+        # the new generation's base is a fresh file: base + delta +
+        # manifest + pointer, 3 boundaries each
+        assert len(points) == 12
+        for index in range(len(points)):
+            target = tmp_path.parent / f"rebase-case-{index}"
+            shutil.copytree(tmp_path, target)
+            case = FaultInjectingDirectory(target)
+            assert case.run_crashing(
+                index, lambda: service.save_graph("g", target)
+            )
+            dead = case.materialize(tmp_path.parent / f"rebase-dead-{index}")
+            for name in live:
+                assert (dead / name).exists()
+            _assert_restores(dead, expected)
+            _assert_restores(target, expected)
+        service.close()
+
+
+class TestGCCrashPoints:
+    def _directory_with_history(self, root: Path, epochs: int = 5):
+        rng = random.Random(75)
+        service = TraversalService()
+        service.register_graph("g", _graph(75))
+        service.save_graph("g", root)
+        for _ in range(epochs - 1):
+            service.apply_updates("g", _batch(rng))
+            service.save_graph("g", root)
+        create_tag(root, "pinned", epoch=sorted(list_epoch_manifests(root))[1])
+        expected = _levels(service)
+        service.close()
+        return expected
+
+    def test_every_gc_point_keeps_reachable_epochs(self, tmp_path):
+        pristine = tmp_path / "pristine"
+        expected = self._directory_with_history(pristine)
+        policy = RetentionPolicy(keep_epochs=1)
+
+        probe = tmp_path / "probe"
+        shutil.copytree(pristine, probe)
+        points = FaultInjectingDirectory(probe).mutation_points(
+            lambda: collect_garbage(probe, policy)
+        )
+        assert all(op == "remove" for op, _ in points)
+        assert len(points) >= 4, "expected expired manifests + deltas removed"
+        # manifests are deleted before any data file
+        kinds = [
+            "manifest" if path.name.startswith("manifest-epoch-") else "data"
+            for _, path in points
+        ]
+        assert kinds == sorted(kinds, key=["manifest", "data"].index)
+
+        for index in range(len(points)):
+            target = tmp_path / f"case-{index}"
+            shutil.copytree(pristine, target)
+            case = FaultInjectingDirectory(target)
+            assert case.run_crashing(
+                index, lambda: collect_garbage(target, policy)
+            )
+            # GC performs real unlinks, so instant-of-death and post-unwind
+            # state coincide; assert once on the directory itself.
+            live = _pointer_files(target)
+            for name in live:
+                assert (target / name).exists(), f"reachable {name} lost"
+            _assert_restores(target, expected)
+            # the tagged epoch still resolves and loads
+            tagged = TraversalService()
+            tagged.load_graph(resolve_tag(target, "pinned"))
+            tagged.close()
+            # a re-run (the next maintenance pass) finishes the job cleanly
+            collect_garbage(target, policy)
+            _assert_restores(target, expected)
+
+    def test_interrupted_gc_then_full_pass_converges(self, tmp_path):
+        pristine = tmp_path / "pristine"
+        expected = self._directory_with_history(pristine)
+        policy = RetentionPolicy(keep_epochs=1)
+        target = tmp_path / "converge"
+        shutil.copytree(pristine, target)
+        case = FaultInjectingDirectory(target)
+        case.run_crashing(2, lambda: collect_garbage(target, policy))
+        collect_garbage(target, policy)
+        final = collect_garbage(target, policy)
+        assert not final.deleted_files and not final.deleted_manifests
+        _assert_restores(target, expected)
+
+
+class TestCDCCrashPoints:
+    def test_torn_append_and_duplicated_replay(self, tmp_path):
+        rng = random.Random(76)
+        service = TraversalService()
+        service.register_graph("g", _graph(76))
+        service.save_graph("g", tmp_path / "snap")
+        log = tmp_path / "g.cdc"
+        service.start_cdc_export("g", log)
+        service.apply_updates("g", _batch(rng))
+        service.apply_updates("g", _batch(rng))
+        whole = log.read_bytes()
+        assert len(read_cdc_records(log)) == 2
+
+        harness = FaultInjectingDirectory(tmp_path)
+        # every append boundary (append itself + its fsync), torn or not,
+        # leaves a log whose whole-frame prefix still replays cleanly
+        for index in (0, 1):
+            for mode in MODES:
+                log.write_bytes(whole)
+                fired = harness.run_crashing(
+                    index,
+                    lambda: service.apply_updates("g", _batch(rng)),
+                    mode=mode,
+                )
+                assert fired
+                records = read_cdc_records(log)
+                # the pre-crash frames always survive whole; the in-flight
+                # frame either vanished (crash before the append, or torn
+                # tail) or landed complete (crash at the fsync boundary,
+                # after the kernel already had the full frame)
+                assert [r["epoch"] for r in records[:2]] == [1, 2]
+                assert len(records) <= 3
+        # duplicated replay: a producer retrying after a crash appends the
+        # same frames again; the follower's epoch dedup makes it a no-op.
+        # (Compare against a follower of the untampered log, not the live
+        # primary -- the crashed appends above still mutated the primary's
+        # overlays, so the primary is legitimately ahead of this log.)
+        reference_log = tmp_path / "g.reference.cdc"
+        reference_log.write_bytes(whole)
+        with FollowerReplica(tmp_path / "snap", reference_log) as reference:
+            assert reference.catch_up() == 2
+            expected = _levels(reference)
+        log.write_bytes(whole + whole[12:])
+        with FollowerReplica(tmp_path / "snap", log) as follower:
+            assert follower.catch_up() == 2
+            assert follower.records_skipped == 2
+            assert np.array_equal(_levels(follower), expected)
+        service.close()

@@ -1,0 +1,262 @@
+"""Property fuzz for the snapshot lifecycle: random interleavings vs an oracle.
+
+A hypothesis :class:`~hypothesis.stateful.RuleBasedStateMachine` drives one
+registered graph through arbitrary interleavings of the operations the
+lifecycle layer claims commute with serving -- update batches, bounded
+compaction, overlay-to-base rebases, snapshots, tags, retention GC,
+crash-restart (snapshot + restore into a fresh service) and CDC follower
+catch-up -- while a pure-python shadow adjacency answers every BFS from
+scratch.  The invariant, checked after every step: the service's answers
+equal the oracle's, bit for bit, no matter which maintenance ran when.
+
+Failures hypothesis shrinks here get pinned as deterministic regressions in
+:class:`TestPinnedScenarios` so they re-run on every CI pass even without
+the fuzz profile.  Profiles (``lifecycle-dev`` locally, ``lifecycle-ci``
+derandomized in CI) are registered in ``tests/conftest.py`` and selected
+via the ``HYPOTHESIS_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.graph import Graph
+from repro.lifecycle import (
+    FollowerReplica,
+    RetentionPolicy,
+    collect_garbage,
+    create_tag,
+    list_tags,
+    resolve_tag,
+)
+from repro.service import BFSQuery, TraversalService
+from repro.store import read_manifest
+
+NODES = 24
+
+#: One edge update; inserts twice as likely as deletes so the graph grows.
+UPDATE = st.tuples(
+    st.sampled_from(["insert", "insert", "delete"]),
+    st.integers(min_value=0, max_value=NODES - 1),
+    st.integers(min_value=0, max_value=NODES - 1),
+)
+BATCH = st.lists(UPDATE, min_size=1, max_size=12)
+
+
+def _oracle_levels(shadow: dict[int, set[int]], source: int) -> np.ndarray:
+    """From-scratch BFS over the shadow adjacency (the ground truth)."""
+    levels = [-1] * NODES
+    levels[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in shadow[node]:
+                if levels[neighbor] == -1:
+                    levels[neighbor] = levels[node] + 1
+                    nxt.append(neighbor)
+        frontier = nxt
+    return np.array(levels)
+
+
+class LifecycleMachine(RuleBasedStateMachine):
+    """Interleave lifecycle operations against a shadow-graph oracle."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.root = Path(tempfile.mkdtemp(prefix="lifecycle-fuzz-"))
+        rng = random.Random(97)
+        edges = sorted(
+            {(rng.randrange(NODES), rng.randrange(NODES)) for _ in range(3 * NODES)}
+        )
+        self.shadow: dict[int, set[int]] = {node: set() for node in range(NODES)}
+        for source, target in edges:
+            self.shadow[source].add(target)
+        self.service = TraversalService()
+        self.service.register_graph("g", Graph.from_edges(NODES, edges))
+        self.snapdir = self.root / "snap"
+        self.tag_serial = 0
+        self.generation = 0
+        self._start_cdc()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _start_cdc(self) -> None:
+        """(Re)base the CDC stream: snapshot now, then export from here.
+
+        A follower replays ``cdc_log`` on top of ``cdc_base``; both must be
+        recreated whenever a restart hands serving to a fresh registry,
+        because the old registry's subscribers die with it.
+        """
+        self.generation += 1
+        self.cdc_base = self.root / f"cdc-base-{self.generation}"
+        self.service.save_graph("g", self.cdc_base)
+        self.cdc_log = self.root / f"g-{self.generation}.cdc"
+        self.service.start_cdc_export("g", self.cdc_log)
+
+    def _levels(self, engine, source: int) -> np.ndarray:
+        [result] = engine.submit([BFSQuery(graph="g", source=source)])
+        return np.asarray(result.value.levels)
+
+    def _pointer_epoch(self) -> int:
+        return int(read_manifest(self.snapdir / "manifest.json")["epoch"])
+
+    # -- rules -----------------------------------------------------------------
+
+    @rule(batch=BATCH)
+    def apply_batch(self, batch) -> None:
+        self.service.apply_updates("g", batch)
+        for kind, source, target in batch:
+            member = self.shadow[source]
+            (member.add if kind == "insert" else member.discard)(target)
+
+    @rule()
+    def compact_tick(self) -> None:
+        self.service.compact_graph("g", budget=16)
+
+    @rule()
+    def rebase(self) -> None:
+        self.service.rebase_graph("g")
+
+    @rule()
+    def snapshot(self) -> None:
+        self.service.save_graph("g", self.snapdir)
+
+    @precondition(lambda self: (self.snapdir / "manifest.json").exists())
+    @rule()
+    def tag_latest(self) -> None:
+        self.tag_serial += 1
+        tag = f"fuzz-{self.tag_serial}"
+        create_tag(self.snapdir, tag, epoch=self._pointer_epoch())
+        assert tag in list_tags(self.snapdir)
+        assert resolve_tag(self.snapdir, tag).exists()
+
+    @precondition(lambda self: (self.snapdir / "manifest.json").exists())
+    @rule(keep=st.integers(min_value=1, max_value=3))
+    def gc(self, keep: int) -> None:
+        report = collect_garbage(self.snapdir, RetentionPolicy(keep_epochs=keep))
+        # the pointer epoch is always retained, and every tag must still
+        # resolve afterwards (tags pin epochs through any policy)
+        assert self._pointer_epoch() in report.retained_epochs
+        for tag in list_tags(self.snapdir):
+            assert resolve_tag(self.snapdir, tag).exists()
+
+    @rule()
+    def crash_restart(self) -> None:
+        """Snapshot, drop the process state, restore -- serving continues."""
+        restart_dir = self.root / f"restart-{self.generation}"
+        if restart_dir.exists():
+            shutil.rmtree(restart_dir)
+        self.service.save_graph("g", restart_dir)
+        self.service.close()
+        self.service = TraversalService()
+        self.service.load_graph(restart_dir)
+        self._start_cdc()
+
+    @rule(source=st.integers(min_value=0, max_value=NODES - 1))
+    def follower_catch_up(self, source: int) -> None:
+        with FollowerReplica(self.cdc_base, self.cdc_log) as follower:
+            follower.catch_up()
+            np.testing.assert_array_equal(
+                self._levels(follower, source), _oracle_levels(self.shadow, source)
+            )
+
+    # -- the invariant ---------------------------------------------------------
+
+    @invariant()
+    def answers_match_oracle(self) -> None:
+        np.testing.assert_array_equal(
+            self._levels(self.service, 0), _oracle_levels(self.shadow, 0)
+        )
+
+    def teardown(self) -> None:
+        self.service.close()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+TestLifecycleMachine = LifecycleMachine.TestCase
+
+
+class TestPinnedScenarios:
+    """Deterministic replays of interleavings worth keeping forever.
+
+    Each scenario drives the machine's own rule methods directly, so a
+    behavioural drift that would break the fuzz also breaks these -- with a
+    readable, minimal script instead of a shrunk blob.
+    """
+
+    def _run(self, script) -> None:
+        state = LifecycleMachine()
+        try:
+            for step in script:
+                step(state)
+                state.answers_match_oracle()
+        finally:
+            state.teardown()
+
+    def test_rebase_between_snapshot_and_follower(self) -> None:
+        # a rebase rewrites the base the primary serves from; the follower,
+        # replaying the pre-rebase CDC stream, must still answer identically
+        self._run(
+            [
+                lambda s: s.apply_batch([("insert", 0, 7), ("delete", 3, 1)]),
+                lambda s: s.snapshot(),
+                lambda s: s.rebase(),
+                lambda s: s.apply_batch([("insert", 7, 11)]),
+                lambda s: s.follower_catch_up(0),
+            ]
+        )
+
+    def test_gc_right_after_tagging_keeps_time_travel(self) -> None:
+        self._run(
+            [
+                lambda s: s.apply_batch([("insert", 1, 2)]),
+                lambda s: s.snapshot(),
+                lambda s: s.tag_latest(),
+                lambda s: s.apply_batch([("insert", 2, 3), ("insert", 3, 4)]),
+                lambda s: s.snapshot(),
+                lambda s: s.gc(1),
+                lambda s: s.follower_catch_up(1),
+            ]
+        )
+
+    def test_restart_mid_stream_rebases_the_cdc_log(self) -> None:
+        # updates before the restart ride the old log; updates after must
+        # land on the new one, and the new follower sees all of them
+        self._run(
+            [
+                lambda s: s.apply_batch([("insert", 4, 5)]),
+                lambda s: s.crash_restart(),
+                lambda s: s.apply_batch([("insert", 5, 6), ("delete", 4, 5)]),
+                lambda s: s.compact_tick(),
+                lambda s: s.follower_catch_up(4),
+            ]
+        )
+
+    def test_maintenance_storm_between_updates(self) -> None:
+        self._run(
+            [
+                lambda s: s.apply_batch([("insert", 9, 10), ("insert", 10, 9)]),
+                lambda s: s.compact_tick(),
+                lambda s: s.rebase(),
+                lambda s: s.snapshot(),
+                lambda s: s.gc(2),
+                lambda s: s.rebase(),
+                lambda s: s.snapshot(),
+                lambda s: s.gc(1),
+                lambda s: s.apply_batch([("delete", 9, 10)]),
+                lambda s: s.follower_catch_up(10),
+            ]
+        )

@@ -38,12 +38,14 @@ from repro.dynamic.overlay import DeltaOverlay
 from repro.store import (
     StoreError,
     StoreFormatError,
+    StoreTruncationError,
     StoreVersionError,
     read_delta_file,
     read_graph_file,
     read_graph_meta,
     read_manifest,
     read_partition_file,
+    resolve_manifest_path,
     write_delta_file,
     write_graph_file,
     write_partition_file,
@@ -366,6 +368,86 @@ class TestDeltaAndPartitionFiles:
         write_partition_file(path, assignment, 2)  # value 2 out of range
         with pytest.raises(StoreFormatError, match="must lie in"):
             read_partition_file(path)
+
+
+class TestStoreErrorPaths:
+    """Reader failure modes beyond tail corruption.
+
+    Mid-block truncation (a declared length that overruns the file),
+    partition assignments naming shards that do not exist, and manifest
+    resolution against directories that are empty or belong to something
+    else entirely -- each must be rejected before any object is built.
+    """
+
+    def test_delta_truncated_mid_block_rejected(self, web_graph, tmp_path):
+        base = CGRGraph.from_adjacency(web_graph.adjacency())
+        overlay = DeltaOverlay(base)
+        overlay.apply([EdgeUpdate.insert(2, 399), EdgeUpdate.insert(7, 11)])
+        overlay.compact_all()
+        path = tmp_path / "o.delta"
+        write_delta_file(path, overlay)
+        data = path.read_bytes()
+        # cut inside every region -- the magic, the metadata JSON block and
+        # the side-stream block; every declared length must be rechecked
+        # against the real file size, never trusted
+        for cut in (4, len(data) // 3, len(data) // 2, len(data) - 3):
+            path.write_bytes(data[:cut])
+            with pytest.raises(StoreFormatError):
+                read_delta_file(path, base)
+
+    def test_partition_negative_shard_id_rejected(self, tmp_path):
+        path = tmp_path / "partition.bin"
+        write_partition_file(path, np.array([0, -1, 1], dtype=np.int64), 2)
+        with pytest.raises(StoreFormatError, match="must lie in"):
+            read_partition_file(path)
+
+    def test_partition_truncated_assignment_rejected(self, tmp_path):
+        path = tmp_path / "partition.bin"
+        write_partition_file(path, np.arange(6, dtype=np.int64) % 3, 3)
+        data = path.read_bytes()
+        path.write_bytes(data[:-9])
+        with pytest.raises(StoreTruncationError, match="truncated"):
+            read_partition_file(path)
+
+    def test_resolve_manifest_path_dangling_directory(self, tmp_path):
+        empty = tmp_path / "not-a-snapshot"
+        empty.mkdir()
+        assert resolve_manifest_path(empty) == empty / "manifest.json"
+        with pytest.raises(FileNotFoundError):
+            read_manifest(resolve_manifest_path(empty))
+        with pytest.raises(FileNotFoundError):
+            TraversalService().load_graph(empty)
+
+    def test_resolve_manifest_path_foreign_directory(self, tmp_path):
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "manifest.json").write_text(
+            json.dumps({"kind": "container-image", "layers": []})
+        )
+        with pytest.raises(StoreFormatError, match="not a snapshot manifest"):
+            TraversalService().load_graph(foreign)
+        (foreign / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreFormatError, match="not valid JSON"):
+            read_manifest(foreign / "manifest.json")
+
+    def test_explicit_manifest_path_passes_through(self, tmp_path):
+        # a file path resolves verbatim -- existence is the reader's job,
+        # so a dangling epoch-tagged path fails at read, not resolve
+        missing = tmp_path / "manifest-epoch-000007.json"
+        assert resolve_manifest_path(missing) == missing
+        with pytest.raises(FileNotFoundError):
+            read_manifest(missing)
+
+    def test_manifest_referencing_missing_delta_rejected(
+        self, tiny_graph, tmp_path
+    ):
+        service = TraversalService()
+        service.register_graph("g", tiny_graph)
+        service.save_graph("g", tmp_path / "snap")
+        service.close()
+        (tmp_path / "snap" / "epoch-0.delta").unlink()
+        with pytest.raises(FileNotFoundError):
+            TraversalService().load_graph(tmp_path / "snap")
 
 
 def _submit_all(service: TraversalService, name: str):
